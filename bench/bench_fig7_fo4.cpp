@@ -1,0 +1,88 @@
+// E4 — Figure 7 / case study 1: FO4 delay gain of the CNFET inverter over
+// the 65nm CMOS inverter versus the number of CNTs per device (fixed gate
+// width), the optimal CNT pitch and its +-1% flat range, the energy/cycle
+// gains at one tube and at the optimum, and the inverter area gain versus
+// transistor width.
+#include <cstdio>
+#include <vector>
+
+#include "device/models.hpp"
+#include "layout/cells.hpp"
+#include "sim/fo4.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cnfet;
+
+  std::printf("== E4 / Figure 7 + case study 1: FO4 inverter study ==\n\n");
+
+  const auto cmos = sim::measure_fo4(device::cmos_inverter());
+  std::printf("CMOS 65nm baseline: FO4 delay %s, energy/cycle %s\n\n",
+              util::fmt_si(cmos.delay_s, "s").c_str(),
+              util::fmt_si(cmos.energy_per_cycle_j, "J").c_str());
+
+  util::TextTable t({"CNTs", "pitch (nm)", "FO4 delay", "delay gain",
+                     "energy/cycle", "energy gain"});
+  double best_gain = 0.0;
+  int best_n = 1;
+  std::vector<double> gains;
+  const int max_tubes = 22;
+  for (int n = 1; n <= max_tubes; ++n) {
+    const auto r = sim::measure_fo4(device::cnfet_inverter(n));
+    const double gain = cmos.delay_s / r.delay_s;
+    const double egain = cmos.energy_per_cycle_j / r.energy_per_cycle_j;
+    gains.push_back(gain);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_n = n;
+    }
+    t.add_row({std::to_string(n),
+               util::fmt_fixed(device::cnt_pitch_nm(n, 65.0), 2),
+               util::fmt_si(r.delay_s, "s"), util::fmt_ratio(gain, 2),
+               util::fmt_si(r.energy_per_cycle_j, "J"),
+               util::fmt_ratio(egain, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const auto opt = sim::measure_fo4(device::cnfet_inverter(best_n));
+  const double opt_pitch = device::cnt_pitch_nm(best_n, 65.0);
+  std::printf("Optimum: %d tubes, pitch %.2fnm, delay gain %.2fx, energy "
+              "gain %.2fx\n",
+              best_n, opt_pitch, best_gain,
+              cmos.energy_per_cycle_j / opt.energy_per_cycle_j);
+  std::printf("(paper: optimal pitch 5nm; 4.2x delay, 2x energy; 1 CNT: "
+              "2.75x delay, 6.3x energy)\n");
+
+  // Flat range: pitches whose delay is within 1% of the optimum.
+  double lo_pitch = opt_pitch, hi_pitch = opt_pitch;
+  for (int n = 1; n <= max_tubes; ++n) {
+    if (gains[static_cast<std::size_t>(n - 1)] >= 0.99 * best_gain) {
+      const double p = device::cnt_pitch_nm(n, 65.0);
+      lo_pitch = std::min(lo_pitch, p);
+      hi_pitch = std::max(hi_pitch, p);
+    }
+  }
+  std::printf("Optimal pitch range at 1%% FO4 tolerance: %.2f - %.2f nm "
+              "(paper: 4.5 - 5.5 nm)\n\n",
+              lo_pitch, hi_pitch);
+
+  // Case-study-1 area gain: CNFET (W + 6 + W) vs CMOS (W + 10 + 1.4W).
+  std::printf("Inverter area gain vs transistor width (core height ratio):\n");
+  util::TextTable at({"W (lambda)", "CNFET core", "CMOS core", "area gain"});
+  for (const double w : {3.0, 4.0, 6.0, 10.0, 16.0}) {
+    layout::CellBuildOptions copt;
+    copt.base_width_lambda = w;
+    const auto cn = layout::build_cell(layout::find_cell_spec("INV"), copt);
+    copt.tech = layout::Tech::kCmos65;
+    const auto cm = layout::build_cell(layout::find_cell_spec("INV"), copt);
+    at.add_row({util::fmt_fixed(w, 0),
+                util::fmt_fixed(cn.layout.core_area_lambda2(), 1),
+                util::fmt_fixed(cm.layout.core_area_lambda2(), 1),
+                util::fmt_ratio(cm.layout.core_area_lambda2() /
+                                    cn.layout.core_area_lambda2(),
+                                2)});
+  }
+  std::printf("%s", at.to_string().c_str());
+  std::printf("(paper: 1.4x at W = 4 lambda, declining for larger widths)\n");
+  return 0;
+}

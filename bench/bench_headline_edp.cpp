@@ -1,0 +1,55 @@
+// E6 — headline numbers of the abstract/conclusions: the CNFET inverter at
+// its optimal pitch vs the 65nm CMOS inverter — delay, energy, EDP, area,
+// and the combined Energy-Delay-Area Product (EDAP).
+#include <cstdio>
+
+#include "device/models.hpp"
+#include "layout/cells.hpp"
+#include "sim/fo4.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cnfet;
+
+  std::printf("== E6 / headline: inverter EDP and EDAP ==\n\n");
+
+  const auto cmos = sim::measure_fo4(device::cmos_inverter());
+  // Find the FO4-optimal tube count.
+  double best = 1e9;
+  int best_n = 1;
+  for (int n = 1; n <= 22; ++n) {
+    const auto r = sim::measure_fo4(device::cnfet_inverter(n));
+    if (r.delay_s < best) {
+      best = r.delay_s;
+      best_n = n;
+    }
+  }
+  const auto cnfet = sim::measure_fo4(device::cnfet_inverter(best_n));
+
+  layout::CellBuildOptions copt;
+  const auto lay_cn = layout::build_cell(layout::find_cell_spec("INV"), copt);
+  copt.tech = layout::Tech::kCmos65;
+  const auto lay_cm = layout::build_cell(layout::find_cell_spec("INV"), copt);
+
+  const double dgain = cmos.delay_s / cnfet.delay_s;
+  const double egain = cmos.energy_per_cycle_j / cnfet.energy_per_cycle_j;
+  const double again = lay_cm.layout.core_area_lambda2() /
+                       lay_cn.layout.core_area_lambda2();
+
+  util::TextTable t({"metric", "CMOS", "CNFET(opt)", "gain", "paper"});
+  t.add_row({"FO4 delay", util::fmt_si(cmos.delay_s, "s"),
+             util::fmt_si(cnfet.delay_s, "s"), util::fmt_ratio(dgain, 2),
+             ">4x"});
+  t.add_row({"energy/cycle", util::fmt_si(cmos.energy_per_cycle_j, "J"),
+             util::fmt_si(cnfet.energy_per_cycle_j, "J"),
+             util::fmt_ratio(egain, 2), "2x"});
+  t.add_row({"area (core l^2)",
+             util::fmt_fixed(lay_cm.layout.core_area_lambda2(), 1),
+             util::fmt_fixed(lay_cn.layout.core_area_lambda2(), 1),
+             util::fmt_ratio(again, 2), ">1.4x (>30% saving)"});
+  t.add_row({"EDP", "-", "-", util::fmt_ratio(dgain * egain, 1), ">10x"});
+  t.add_row({"EDAP", "-", "-", util::fmt_ratio(dgain * egain * again, 1),
+             "~12x"});
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

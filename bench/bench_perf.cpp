@@ -1,0 +1,77 @@
+// E8 — google-benchmark microbenchmarks of the kit's algorithms: Euler
+// layout synthesis, exact immunity proof, Monte Carlo throughput, transient
+// simulation, technology mapping, and placement scaling.
+#include <benchmark/benchmark.h>
+
+#include "cnt/analyzer.hpp"
+#include "flow/mapper.hpp"
+#include "flow/placer.hpp"
+#include "layout/cells.hpp"
+#include "sim/fo4.hpp"
+
+namespace {
+
+using namespace cnfet;
+
+void BM_EulerPlanning(benchmark::State& state) {
+  const auto& specs = layout::standard_cell_family();
+  const auto& spec = specs[static_cast<std::size_t>(state.range(0))];
+  const auto pdn = logic::parse_expr(spec.pdn_expr);
+  const auto cell = netlist::build_static_cell(pdn);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        layout::plan_planes(cell, layout::LayoutStyle::kCompactEuler));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_EulerPlanning)->DenseRange(0, 11, 3);
+
+void BM_CellBuild(benchmark::State& state) {
+  const auto spec = layout::find_cell_spec("AOI22");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::build_cell(spec));
+  }
+}
+BENCHMARK(BM_CellBuild);
+
+void BM_ExactImmunityProof(benchmark::State& state) {
+  const auto built = layout::build_cell(layout::find_cell_spec("AOI31"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cnt::check_exact(built.layout, built.netlist, built.function));
+  }
+}
+BENCHMARK(BM_ExactImmunityProof);
+
+void BM_MonteCarloTubes(benchmark::State& state) {
+  const auto built = layout::build_cell(layout::find_cell_spec("NAND3"));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cnt::monte_carlo(built.layout, built.netlist,
+                                              built.function,
+                                              cnt::TubeModel{}, 10, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * 24);  // tubes traced
+}
+BENCHMARK(BM_MonteCarloTubes);
+
+void BM_TransientFo4(benchmark::State& state) {
+  const auto inv = device::cnfet_inverter(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::measure_fo4(inv));
+  }
+}
+BENCHMARK(BM_TransientFo4)->Unit(benchmark::kMillisecond);
+
+void BM_SwitchLevelEvaluate(benchmark::State& state) {
+  const auto cell = netlist::build_static_cell(logic::parse_expr("ABC+D"));
+  std::uint64_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.evaluate(row++ & 15));
+  }
+}
+BENCHMARK(BM_SwitchLevelEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,283 @@
+#include "cnt/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "geom/segment.hpp"
+#include "util/error.hpp"
+
+namespace cnfet::cnt {
+
+using geom::DVec2;
+using geom::Rect;
+using geom::Segment;
+using layout::CellGeometry;
+using netlist::CellNetlist;
+using netlist::NetId;
+
+void apply_effect(CellNetlist& cell, const StrayEffect& effect) {
+  if (effect.a == effect.b && effect.is_short()) return;
+  if (effect.is_short()) {
+    cell.add_short({effect.a, effect.b});
+    return;
+  }
+  NetId at = effect.a;
+  for (std::size_t i = 0; i < effect.chain.size(); ++i) {
+    const NetId next =
+        (i + 1 == effect.chain.size())
+            ? effect.b
+            : cell.add_net("stray" + std::to_string(cell.num_nets()));
+    cell.add_fet({effect.chain[i].type, effect.chain[i].gate_input, at, next,
+                  1.0});
+    at = next;
+  }
+}
+
+std::string ImmunityReport::to_string(const CellNetlist& cell) const {
+  std::ostringstream out;
+  out << (immune ? "IMMUNE" : "VULNERABLE") << ": " << effects.size()
+      << " stray-effect classes, " << short_pairs << " hard shorts";
+  if (!immune) {
+    out << "; " << functional.to_string();
+    for (const auto& e : effects) {
+      if (e.is_short() && e.a != e.b) {
+        out << "; short " << cell.net_name(e.a) << "-" << cell.net_name(e.b);
+      }
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+bool spans_band_vertically(const Rect& shape, const Rect& band) {
+  return shape.lo().y <= band.lo().y && shape.hi().y >= band.hi().y;
+}
+
+}  // namespace
+
+ImmunityReport check_exact(const layout::CellLayout& layout,
+                           const CellNetlist& cell,
+                           const logic::TruthTable& function) {
+  const CellGeometry geo = layout.geometry();
+
+  // The proof requires the bands to be pairwise disjoint (tubes cannot
+  // bridge two bands: the active etch cuts them in between).
+  for (std::size_t i = 0; i < geo.bands.size(); ++i) {
+    for (std::size_t j = i + 1; j < geo.bands.size(); ++j) {
+      CNFET_REQUIRE_MSG(!geo.bands[i].rect.overlaps(geo.bands[j].rect),
+                        "CNT bands must be disjoint for the immunity proof");
+    }
+  }
+
+  ImmunityReport report;
+  for (const auto& band : geo.bands) {
+    // Shapes relevant to this band.
+    std::vector<layout::ContactShape> contacts;
+    for (const auto& c : geo.contacts) {
+      if (c.rect.overlaps(band.rect)) contacts.push_back(c);
+    }
+    std::sort(contacts.begin(), contacts.end(),
+              [](const auto& a, const auto& b) {
+                return a.rect.lo().x < b.rect.lo().x;
+              });
+
+    // Adjacent contact pairs suffice: effects are monotone and non-adjacent
+    // chains are series compositions of adjacent ones (see header).
+    for (std::size_t k = 0; k + 1 < contacts.size(); ++k) {
+      const auto& left = contacts[k];
+      const auto& right = contacts[k + 1];
+      const auto x0 = left.rect.hi().x;
+      const auto x1 = right.rect.lo().x;
+
+      // A full-height etched slot between the contacts cuts every tube.
+      bool severed = false;
+      for (const auto& e : geo.etches) {
+        if (e.lo().x >= x0 && e.hi().x <= x1 &&
+            spans_band_vertically(e, band.rect)) {
+          severed = true;
+          break;
+        }
+      }
+      if (severed) continue;
+
+      // Unavoidable gates: stripes between the contacts spanning the band.
+      StrayEffect effect;
+      effect.a = left.net;
+      effect.b = right.net;
+      for (const auto& g : geo.gates) {
+        if (g.rect.lo().x >= x0 && g.rect.hi().x <= x1 &&
+            spans_band_vertically(g.rect, band.rect)) {
+          effect.chain.push_back(StrayLink{g.input, band.doping});
+        }
+      }
+      // Order along x so the chain reads left-to-right (cosmetic: series
+      // conduction is order-independent).
+      if (effect.a == effect.b && effect.is_short()) continue;
+      if (effect.is_short() && effect.a != effect.b) ++report.short_pairs;
+      report.effects.push_back(std::move(effect));
+    }
+  }
+
+  CellNetlist augmented = cell;
+  for (const auto& e : report.effects) apply_effect(augmented, e);
+  report.functional = augmented.check_function(function);
+  report.immune = report.functional.ok;
+  return report;
+}
+
+namespace {
+
+/// One ordered crossing event along a tube polyline.
+struct Event {
+  enum class Kind { kContact, kGate, kEtch, kGap };
+  Kind kind = Kind::kGap;
+  double t = 0.0;  ///< global parameter: segment index + local t
+  NetId net = 0;
+  int gate_input = 0;
+};
+
+}  // namespace
+
+std::vector<StrayEffect> trace_tube(const CellGeometry& geometry,
+                                    const std::vector<DVec2>& polyline) {
+  CNFET_REQUIRE(polyline.size() >= 2);
+  std::vector<StrayEffect> effects;
+
+  for (const auto& band : geometry.bands) {
+    std::vector<Event> events;
+    for (std::size_t s = 0; s + 1 < polyline.size(); ++s) {
+      const Segment seg(polyline[s], polyline[s + 1]);
+      const auto in_band = seg.clip(band.rect);
+      if (!in_band) {
+        events.push_back({Event::Kind::kGap, static_cast<double>(s), 0, 0});
+        continue;
+      }
+      const auto [bt0, bt1] = *in_band;
+      const double base = static_cast<double>(s);
+      // Portions of this segment outside the band are etched away.
+      if (bt0 > 0.0) events.push_back({Event::Kind::kGap, base + bt0 - 1e-9, 0, 0});
+      if (bt1 < 1.0) events.push_back({Event::Kind::kGap, base + bt1 + 1e-9, 0, 0});
+
+      auto clip_mid = [&](const Rect& r) -> std::optional<double> {
+        const auto tt = seg.clip(r);
+        if (!tt) return std::nullopt;
+        const double lo = std::max(tt->first, bt0);
+        const double hi = std::min(tt->second, bt1);
+        if (lo > hi) return std::nullopt;
+        return (lo + hi) / 2.0;
+      };
+      for (const auto& c : geometry.contacts) {
+        if (auto t = clip_mid(c.rect)) {
+          events.push_back({Event::Kind::kContact, base + *t, c.net, 0});
+        }
+      }
+      for (const auto& g : geometry.gates) {
+        if (auto t = clip_mid(g.rect)) {
+          events.push_back({Event::Kind::kGate, base + *t, 0, g.input});
+        }
+      }
+      for (const auto& e : geometry.etches) {
+        if (auto t = clip_mid(e)) {
+          events.push_back({Event::Kind::kEtch, base + *t, 0, 0});
+        }
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.t < b.t; });
+
+    // Walk the events: contacts anchor chains; gates extend the pending
+    // chain; etch slots and band exits break continuity.
+    bool have_anchor = false;
+    NetId anchor = 0;
+    std::vector<StrayLink> pending;
+    for (const auto& ev : events) {
+      switch (ev.kind) {
+        case Event::Kind::kGap:
+        case Event::Kind::kEtch:
+          have_anchor = false;
+          pending.clear();
+          break;
+        case Event::Kind::kGate:
+          if (have_anchor) pending.push_back({ev.gate_input, band.doping});
+          break;
+        case Event::Kind::kContact:
+          if (have_anchor && !(anchor == ev.net && pending.empty())) {
+            effects.push_back(StrayEffect{anchor, ev.net, pending});
+          }
+          have_anchor = true;
+          anchor = ev.net;
+          pending.clear();
+          break;
+      }
+    }
+  }
+  return effects;
+}
+
+MonteCarloResult monte_carlo(const layout::CellLayout& layout,
+                             const CellNetlist& cell,
+                             const logic::TruthTable& function,
+                             const TubeModel& model, int trials,
+                             std::uint64_t seed) {
+  CNFET_REQUIRE(trials > 0 && model.tubes_per_trial > 0);
+  const CellGeometry geo = layout.geometry();
+  const Rect box = layout.bbox();
+  util::Xoshiro256 rng(seed);
+
+  MonteCarloResult result;
+  result.trials = trials;
+
+  constexpr double kPi = 3.14159265358979323846;
+  const double diag_margin = model.mean_length_lambda * geom::kLambda;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    CellNetlist augmented = cell;
+    bool any_effect = false;
+    for (int tube = 0; tube < model.tubes_per_trial; ++tube) {
+      ++result.tubes_sampled;
+      // Random center anywhere a tube could still intersect the cell.
+      const DVec2 center{
+          rng.uniform(static_cast<double>(box.lo().x) - diag_margin,
+                      static_cast<double>(box.hi().x) + diag_margin),
+          rng.uniform(static_cast<double>(box.lo().y) - diag_margin,
+                      static_cast<double>(box.hi().y) + diag_margin)};
+      double angle = 0.0;
+      if (rng.uniform() < model.outlier_fraction) {
+        angle = rng.uniform(-kPi / 2, kPi / 2);
+      } else {
+        angle = rng.normal(0.0, model.angle_sigma_deg * kPi / 180.0);
+      }
+      const double len = std::exp(rng.normal(
+                             std::log(model.mean_length_lambda),
+                             model.length_sigma)) *
+                         geom::kLambda;
+      const double bend =
+          rng.normal(0.0, model.bend_sigma_deg * kPi / 180.0);
+
+      // Two-segment polyline: half the tube on each side of the kink.
+      const DVec2 dir1{std::cos(angle), std::sin(angle)};
+      const DVec2 dir2{std::cos(angle + bend), std::sin(angle + bend)};
+      const DVec2 start = center - dir1 * (len / 2);
+      const DVec2 mid = center;
+      const DVec2 end = center + dir2 * (len / 2);
+
+      for (const auto& effect : trace_tube(geo, {start, mid, end})) {
+        any_effect = true;
+        if (effect.is_short()) {
+          ++result.stray_shorts;
+        } else {
+          ++result.stray_chains;
+        }
+        apply_effect(augmented, effect);
+      }
+    }
+    if (any_effect && !augmented.check_function(function).ok) {
+      ++result.failing_trials;
+    }
+  }
+  return result;
+}
+
+}  // namespace cnfet::cnt

@@ -1,0 +1,115 @@
+// CNT mispositioning analysis: the machinery behind the paper's central
+// claim ("100% functional immunity to mispositioned CNTs").
+//
+// Physical model. CNTs grow across the wafer; the active etch removes every
+// tube not covered by a drawn strip, up to a registration tolerance
+// (DesignRules::cnt_margin), so surviving tubes lie inside each strip's
+// *band* (strip + margin). During doping the gate poly masks the channel, so
+// a surviving tube becomes: doped wire segments (p+ in the PUN band, n+ in
+// the PDN band) interrupted by a channel under every gate stripe it crosses.
+// A tube touching two metal contacts therefore adds, between those nets,
+// a series chain of parasitic FETs — or a hard short when no gate lies
+// between. Etched slots cut tubes outright.
+//
+// Immunity is then a *functional* statement: superimposing every stray
+// device a mispositioned tube can realize must leave the cell's evaluated
+// function unchanged with no supply short. Two engines check it:
+//
+//  * check_exact — a proof over all straight tubes. Within one band, a gate
+//    stripe spanning the full band cannot be bypassed, so any tube joining
+//    two contacts carries at least the full-span gates between them; adding
+//    the corresponding chains for every contact pair (plus hard shorts for
+//    gate-free different-net pairs) over-approximates every tube set
+//    (stray effects are monotone: more strays only add conduction). If the
+//    augmented netlist still checks out, the layout is immune to ANY number
+//    of straight mispositioned tubes.
+//  * monte_carlo — samples bent, tilted, displaced tubes (beyond the
+//    straight-tube proof) and reports functional yield.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "layout/cell_layout.hpp"
+#include "netlist/cell_netlist.hpp"
+#include "util/rng.hpp"
+
+namespace cnfet::cnt {
+
+/// One parasitic channel along a stray tube.
+struct StrayLink {
+  int gate_input = 0;
+  netlist::FetType type = netlist::FetType::kN;
+};
+
+/// The electrical effect of one stray tube piece joining two contacts:
+/// a chain of parasitic FETs, or a hard short when the chain is empty.
+struct StrayEffect {
+  netlist::NetId a = 0;
+  netlist::NetId b = 0;
+  std::vector<StrayLink> chain;
+
+  [[nodiscard]] bool is_short() const { return chain.empty(); }
+};
+
+/// Adds a stray effect onto a netlist copy (fresh internal nets per link).
+void apply_effect(netlist::CellNetlist& cell, const StrayEffect& effect);
+
+/// Result of the straight-tube immunity proof.
+struct ImmunityReport {
+  bool immune = false;
+  /// Functional check of the fully augmented netlist.
+  netlist::FunctionalReport functional;
+  /// Every stray-effect class the layout admits.
+  std::vector<StrayEffect> effects;
+  /// Different-net contact pairs with no protecting gate or etch: these are
+  /// outright shorts (the Figure 2(b) failure).
+  int short_pairs = 0;
+
+  [[nodiscard]] std::string to_string(const netlist::CellNetlist& cell) const;
+};
+
+/// Straight-tube immunity proof for a cell layout against its function.
+[[nodiscard]] ImmunityReport check_exact(const layout::CellLayout& layout,
+                                         const netlist::CellNetlist& cell,
+                                         const logic::TruthTable& function);
+
+/// Mispositioned-tube distribution for Monte Carlo.
+struct TubeModel {
+  double mean_length_lambda = 40.0;  ///< lognormal median tube length
+  double length_sigma = 0.35;        ///< lognormal shape
+  double angle_sigma_deg = 8.0;      ///< nominal misalignment spread
+  double outlier_fraction = 0.03;    ///< tubes with uniform angle +-90 deg
+  double bend_sigma_deg = 6.0;       ///< mid-tube kink spread (2 segments)
+  int tubes_per_trial = 24;          ///< tubes landing on one cell instance
+};
+
+struct MonteCarloResult {
+  int trials = 0;
+  int failing_trials = 0;
+  std::int64_t tubes_sampled = 0;
+  std::int64_t stray_shorts = 0;   ///< hard-short effects observed
+  std::int64_t stray_chains = 0;   ///< gated chain effects observed
+  [[nodiscard]] double yield() const {
+    return trials == 0 ? 1.0
+                       : 1.0 - static_cast<double>(failing_trials) / trials;
+  }
+};
+
+/// Samples `trials` cell instances, each hit by tubes_per_trial mispositioned
+/// tubes, and evaluates the augmented netlist functionally per instance.
+[[nodiscard]] MonteCarloResult monte_carlo(const layout::CellLayout& layout,
+                                           const netlist::CellNetlist& cell,
+                                           const logic::TruthTable& function,
+                                           const TubeModel& model, int trials,
+                                           std::uint64_t seed = 1);
+
+/// Stray effects of one explicit tube polyline (exposed for tests and the
+/// Figure-2 demonstration bench).
+[[nodiscard]] std::vector<StrayEffect> trace_tube(
+    const layout::CellGeometry& geometry,
+    const std::vector<geom::DVec2>& polyline);
+
+}  // namespace cnfet::cnt

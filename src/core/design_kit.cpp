@@ -1,0 +1,77 @@
+#include "core/design_kit.hpp"
+
+namespace cnfet::core {
+
+layout::BuiltCell DesignKit::cell(const std::string& name,
+                                  layout::LayoutStyle style,
+                                  layout::CellScheme scheme,
+                                  double base_width_lambda,
+                                  double drive) const {
+  layout::CellBuildOptions options;
+  options.tech = tech_;
+  options.style = style;
+  options.scheme = scheme;
+  options.base_width_lambda = base_width_lambda;
+  options.drive = drive;
+  return layout::build_cell(layout::find_cell_spec(name), options);
+}
+
+CellAreaSummary DesignKit::audit(const std::string& name,
+                                 layout::LayoutStyle style,
+                                 double base_width_lambda) const {
+  const auto built = cell(name, style, layout::CellScheme::kScheme1,
+                          base_width_lambda);
+  CellAreaSummary s;
+  s.cell = name;
+  s.style = style;
+  s.width_lambda = base_width_lambda;
+  s.active_area_lambda2 = built.layout.active_area_lambda2();
+  s.core_area_lambda2 = built.layout.core_area_lambda2();
+  s.etch_slots = built.layout.etch_slot_count();
+  s.redundant_contacts = built.plan.redundant_contacts;
+  s.via_on_gate = built.layout.via_on_gate_count();
+  s.immune =
+      cnt::check_exact(built.layout, built.netlist, built.function).immune;
+  drc::DrcOptions drc_options;
+  // The etched technique needs vertical gating by construction; audit it
+  // under the relaxed deck so the area comparison is apples-to-apples.
+  drc_options.allow_vertical_gating =
+      style != layout::LayoutStyle::kCompactEuler;
+  s.drc_clean = drc::check(built.layout, drc_options).clean();
+  return s;
+}
+
+std::vector<CellAreaSummary> DesignKit::table1_sweep() const {
+  std::vector<CellAreaSummary> out;
+  for (const char* name : {"INV", "NAND2", "NOR2", "NAND3", "NOR3", "AOI22",
+                           "OAI22", "AOI21", "OAI21"}) {
+    for (const double width : {3.0, 4.0, 6.0, 10.0}) {
+      out.push_back(
+          audit(name, layout::LayoutStyle::kCompactEuler, width));
+      out.push_back(
+          audit(name, layout::LayoutStyle::kEtchedIsolatedBranches, width));
+    }
+  }
+  return out;
+}
+
+const liberty::Library& DesignKit::library() const {
+  if (!library_built_) {
+    liberty::CharacterizeOptions options;
+    options.layout_tech = tech_;
+    library_ = liberty::build_library(options);
+    library_built_ = true;
+  }
+  return library_;
+}
+
+cnt::MonteCarloResult DesignKit::monte_carlo(const std::string& name,
+                                             layout::LayoutStyle style,
+                                             int trials,
+                                             std::uint64_t seed) const {
+  const auto built = cell(name, style);
+  return cnt::monte_carlo(built.layout, built.netlist, built.function,
+                          cnt::TubeModel{}, trials, seed);
+}
+
+}  // namespace cnfet::core

@@ -1,0 +1,75 @@
+// The CNFET Design Kit facade: the one-stop public API tying together the
+// paper's contributions — compact imperfection-immune layout synthesis,
+// the characterized standard-cell library, and the logic-to-GDSII flow —
+// for both the CNFET technology and the 65nm CMOS baseline it is compared
+// against. Examples and benchmark harnesses program against this header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnt/analyzer.hpp"
+#include "drc/drc.hpp"
+#include "flow/gate_netlist.hpp"
+#include "flow/gds_export.hpp"
+#include "flow/mapper.hpp"
+#include "flow/placer.hpp"
+#include "layout/cells.hpp"
+#include "liberty/library.hpp"
+#include "sim/fo4.hpp"
+#include "sta/sta.hpp"
+
+namespace cnfet::core {
+
+/// Summary of one cell under one layout technique (Table-1 bookkeeping).
+struct CellAreaSummary {
+  std::string cell;
+  layout::LayoutStyle style = layout::LayoutStyle::kCompactEuler;
+  double width_lambda = 4.0;
+  double active_area_lambda2 = 0.0;
+  double core_area_lambda2 = 0.0;
+  int etch_slots = 0;
+  int redundant_contacts = 0;
+  int via_on_gate = 0;
+  bool immune = false;
+  bool drc_clean = false;
+};
+
+class DesignKit {
+ public:
+  explicit DesignKit(layout::Tech tech = layout::Tech::kCnfet65)
+      : tech_(tech) {}
+
+  [[nodiscard]] layout::Tech tech() const { return tech_; }
+
+  /// Builds one standard cell (layout + netlist + plan).
+  [[nodiscard]] layout::BuiltCell cell(
+      const std::string& name,
+      layout::LayoutStyle style = layout::LayoutStyle::kCompactEuler,
+      layout::CellScheme scheme = layout::CellScheme::kScheme1,
+      double base_width_lambda = 4.0, double drive = 1.0) const;
+
+  /// Full audit of one cell: area, immunity proof, DRC.
+  [[nodiscard]] CellAreaSummary audit(const std::string& name,
+                                      layout::LayoutStyle style,
+                                      double base_width_lambda = 4.0) const;
+
+  /// Table-1 sweep: audits the whole family at the paper's widths for both
+  /// the compact-Euler and the prior etched technique.
+  [[nodiscard]] std::vector<CellAreaSummary> table1_sweep() const;
+
+  /// Characterized library (cached after first call).
+  [[nodiscard]] const liberty::Library& library() const;
+
+  /// CNT immunity Monte Carlo for a cell.
+  [[nodiscard]] cnt::MonteCarloResult monte_carlo(
+      const std::string& name, layout::LayoutStyle style, int trials,
+      std::uint64_t seed = 1) const;
+
+ private:
+  layout::Tech tech_;
+  mutable bool library_built_ = false;
+  mutable liberty::Library library_;
+};
+
+}  // namespace cnfet::core

@@ -1,0 +1,90 @@
+#include "device/models.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cnfet::device {
+
+namespace {
+
+/// Shared alpha-power current shape with smooth saturation:
+///   I(vgs, vds) = Isat(vgs) * tanh(vds / vdsat(vgs)) * (1 + lambda*vds)
+/// where Isat follows (vgs - vth)^alpha normalized to vgs = vdd.
+double alpha_power(double vgs, double vds, double vth, double alpha,
+                   double vdsat_frac, double lambda_out, double i_at_vdd,
+                   double vdd) {
+  if (vgs <= vth || vds <= 0.0) return 0.0;
+  const double overdrive = vgs - vth;
+  const double full = vdd - vth;
+  const double isat = i_at_vdd * std::pow(overdrive / full, alpha);
+  const double vdsat = std::max(1e-3, vdsat_frac * overdrive);
+  return isat * std::tanh(vds / vdsat) * (1.0 + lambda_out * vds);
+}
+
+}  // namespace
+
+DeviceModel mos_device(const MosParams& params, double width_um,
+                       const Tech65& tech) {
+  CNFET_REQUIRE(width_um > 0);
+  DeviceModel d;
+  const double i_at_vdd = params.k_sat_a_per_um * width_um;
+  const double vdd = tech.vdd;
+  const MosParams p = params;
+  d.ids = [p, i_at_vdd, vdd](double vgs, double vds) {
+    return alpha_power(vgs, vds, p.vth, p.alpha, p.vdsat_frac, p.lambda_out,
+                       i_at_vdd, vdd);
+  };
+  d.c_gate = params.c_gate_f_per_um * width_um;
+  d.c_drain = params.c_diff_f_per_um * width_um;
+  return d;
+}
+
+double screening(double pitch_nm, double beta_nm) {
+  CNFET_REQUIRE(pitch_nm > 0);
+  return pitch_nm * pitch_nm / (pitch_nm * pitch_nm + beta_nm * beta_nm);
+}
+
+double cnt_pitch_nm(int n_tubes, double width_nm) {
+  CNFET_REQUIRE(n_tubes >= 1 && width_nm > 0);
+  return width_nm / n_tubes;
+}
+
+DeviceModel cnfet_device(const CnfetParams& params, int n_tubes,
+                         double width_nm, const Tech65& tech) {
+  CNFET_REQUIRE(n_tubes >= 1);
+  const double pitch = cnt_pitch_nm(n_tubes, width_nm);
+  const double s_i = screening(pitch, params.beta_i_nm);
+  const double s_c = screening(pitch, params.beta_c_nm);
+
+  DeviceModel d;
+  const double i_at_vdd = n_tubes * params.i_on_per_tube * s_i;
+  const double vdd = tech.vdd;
+  const CnfetParams p = params;
+  d.ids = [p, i_at_vdd, vdd](double vgs, double vds) {
+    return alpha_power(vgs, vds, p.vth, p.alpha, p.vdsat_frac, p.lambda_out,
+                       i_at_vdd, vdd);
+  };
+  d.c_gate =
+      n_tubes * (params.c_gate_per_tube * s_c + params.c_fringe_per_tube);
+  d.c_drain = n_tubes * params.c_diff_per_tube * s_c;
+  return d;
+}
+
+InverterModel cmos_inverter(double drive, const Tech65& tech) {
+  CNFET_REQUIRE(drive > 0);
+  // INV1X: Wn = 4 lambda = 0.13um, Wp = 1.4 x Wn (the paper's CMOS sizing).
+  const double wn = 0.13 * drive;
+  const double wp = 1.4 * wn;
+  return InverterModel{mos_device(MosParams::nmos65(), wn, tech),
+                       mos_device(MosParams::pmos65(), wp, tech)};
+}
+
+InverterModel cnfet_inverter(int n_tubes, double width_nm,
+                             const CnfetParams& params, const Tech65& tech) {
+  // n- and p-CNFETs have near-identical drive (the paper sizes them 1:1).
+  return InverterModel{cnfet_device(params, n_tubes, width_nm, tech),
+                       cnfet_device(params, n_tubes, width_nm, tech)};
+}
+
+}  // namespace cnfet::device

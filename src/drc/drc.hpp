@@ -1,0 +1,56 @@
+// Design-rule checking for assembled cell layouts: the signoff step of the
+// design kit. The deck encodes the 65nm-derived rules the paper relies on,
+// including the two CNFET-specific ones its argument turns on: minimum
+// etched-region size (2 lambda) and the prohibition of vias on top of the
+// active gate region ("vertical gating") under conventional lithography.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "layout/cell_layout.hpp"
+
+namespace cnfet::drc {
+
+enum class RuleId {
+  kGateMinLength,
+  kContactMinLength,
+  kGateContactSpacing,
+  kGateGateSpacing,
+  kContactContactSpacing,
+  kEtchMinSize,
+  kGateOverhang,      ///< gate must cover the CNT band (immunity rule)
+  kBandSeparation,    ///< PUN/PDN CNT bands must not touch
+  kViaOnGate,         ///< vertical gating is not manufacturable
+  kPinMinSize,
+};
+
+[[nodiscard]] const char* to_string(RuleId rule);
+
+struct Violation {
+  RuleId rule;
+  std::string detail;
+  geom::Rect where;
+};
+
+struct DrcReport {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Options: `allow_vertical_gating` models a hypothetical future process
+/// where via-on-gate is legal (the paper's discussion of [6]'s needs);
+/// `deck` overrides the rule values to check against (default: the rules
+/// the cell was drawn with — a self-consistency check; pass the golden
+/// deck to audit cells drawn under relaxed rules).
+struct DrcOptions {
+  bool allow_vertical_gating = false;
+  std::optional<layout::DesignRules> deck;
+};
+
+[[nodiscard]] DrcReport check(const layout::CellLayout& cell,
+                              const DrcOptions& options = {});
+
+}  // namespace cnfet::drc

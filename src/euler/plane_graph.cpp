@@ -1,0 +1,364 @@
+#include "euler/plane_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace cnfet::euler {
+
+using netlist::NetId;
+
+std::vector<NetId> Trail::vertices(const std::vector<PlaneEdge>& edges) const {
+  std::vector<NetId> verts{start};
+  NetId at = start;
+  for (const auto& step : steps) {
+    const auto& e = edges[static_cast<std::size_t>(step.edge)];
+    CNFET_REQUIRE((step.forward ? e.u : e.v) == at);
+    at = step.forward ? e.v : e.u;
+    verts.push_back(at);
+  }
+  return verts;
+}
+
+std::vector<int> PlaneOrder::gate_sequence(
+    const std::vector<PlaneEdge>& edges) const {
+  std::vector<int> seq;
+  for (const auto& t : trails) {
+    for (const auto& s : t.steps) {
+      seq.push_back(edges[static_cast<std::size_t>(s.edge)].gate_input);
+    }
+  }
+  return seq;
+}
+
+int PlaneOrder::num_contacts() const {
+  int contacts = 0;
+  for (const auto& t : trails) {
+    contacts += static_cast<int>(t.steps.size()) + 1;
+  }
+  return contacts;
+}
+
+std::vector<PlaneEdge> plane_edges(const netlist::CellNetlist& cell,
+                                   netlist::FetType type) {
+  std::vector<PlaneEdge> edges;
+  for (const auto& f : cell.fets()) {
+    if (f.type == type) {
+      edges.push_back(PlaneEdge{f.gate_input, f.a, f.b, f.width_lambda});
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+std::map<NetId, int> degrees(const std::vector<PlaneEdge>& edges) {
+  std::map<NetId, int> deg;
+  for (const auto& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+}  // namespace
+
+bool contact_worthy(NetId v, int degree) {
+  // Rails and the output always take metal; otherwise anything that is not
+  // a pure series point (degree exactly 2) needs a contact: terminals
+  // (degree 1) end a strip, junctions (degree >= 3) join several runs.
+  return v == netlist::CellNetlist::kGnd || v == netlist::CellNetlist::kVdd ||
+         v == netlist::CellNetlist::kOut || degree != 2;
+}
+
+int count_odd_vertices(const std::vector<PlaneEdge>& edges) {
+  int odd = 0;
+  for (const auto& [net, d] : degrees(edges)) {
+    if (d % 2 != 0) ++odd;
+  }
+  return odd;
+}
+
+int min_trail_count(const std::vector<PlaneEdge>& edges) {
+  if (edges.empty()) return 0;
+  return std::max(1, count_odd_vertices(edges) / 2);
+}
+
+namespace {
+
+/// Depth-first search realizing a trail decomposition with at most
+/// `max_breaks` breaks; first solution (deterministic edge order) wins.
+struct SinglePlaneSearch {
+  const std::vector<PlaneEdge>& edges;
+  std::map<NetId, int> deg;
+  std::vector<bool> used;
+  std::vector<Trail> trails;
+  int breaks_left = 0;
+
+  explicit SinglePlaneSearch(const std::vector<PlaneEdge>& e)
+      : edges(e), deg(degrees(e)), used(e.size(), false) {}
+
+  bool extend(NetId at, std::size_t remaining) {
+    if (remaining == 0) return true;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (used[i]) continue;
+      const auto& e = edges[i];
+      for (const bool forward : {true, false}) {
+        const NetId from = forward ? e.u : e.v;
+        const NetId to = forward ? e.v : e.u;
+        if (from != at) continue;
+        used[i] = true;
+        trails.back().steps.push_back({static_cast<int>(i), forward});
+        if (extend(to, remaining - 1)) return true;
+        trails.back().steps.pop_back();
+        used[i] = false;
+      }
+    }
+    // Dead end: open a new trail if the budget allows. Both the stuck end
+    // and the new start must be able to carry a metal contact.
+    if (breaks_left > 0 && contact_worthy(at, deg.at(at))) {
+      --breaks_left;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (used[i]) continue;
+        const auto& e = edges[i];
+        for (const bool forward : {true, false}) {
+          const NetId from = forward ? e.u : e.v;
+          const NetId to = forward ? e.v : e.u;
+          if (!contact_worthy(from, deg.at(from))) continue;
+          used[i] = true;
+          trails.push_back(Trail{from, {{static_cast<int>(i), forward}}});
+          if (extend(to, remaining - 1)) return true;
+          trails.pop_back();
+          used[i] = false;
+        }
+      }
+      ++breaks_left;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+PlaneOrder euler_decompose(const std::vector<PlaneEdge>& edges) {
+  PlaneOrder order;
+  if (edges.empty()) return order;
+  const int min_trails = min_trail_count(edges);
+  // Iterative deepening on trail count (breaks = trails - 1). An Euler
+  // decomposition with min trails always exists for connected graphs; the
+  // loop also covers (pathological) disconnected planes.
+  for (int trails = min_trails; trails <= static_cast<int>(edges.size());
+       ++trails) {
+    // Try every start vertex deterministically, preferring rails so strips
+    // begin at VDD/GND like the paper's figures.
+    std::vector<NetId> starts;
+    const auto deg = degrees(edges);
+    for (const auto& [net, d] : deg) {
+      if (d % 2 != 0) starts.push_back(net);  // odd vertices must be ends
+    }
+    if (starts.empty()) {
+      // Eulerian circuit: prefer rotations starting on a contact-worthy
+      // vertex so the strip can terminate there.
+      for (const auto& [net, d] : deg) {
+        if (contact_worthy(net, d)) starts.push_back(net);
+      }
+      if (starts.empty()) {
+        for (const auto& [net, d] : deg) starts.push_back(net);
+      }
+    }
+    std::sort(starts.begin(), starts.end(),
+              [](NetId a, NetId b) { return a > b; });  // VDD=1 over GND=0...
+    std::stable_sort(starts.begin(), starts.end(), [](NetId a, NetId b) {
+      const bool ra = a == netlist::CellNetlist::kVdd;
+      const bool rb = b == netlist::CellNetlist::kVdd;
+      return ra > rb;
+    });
+    for (const NetId start : starts) {
+      SinglePlaneSearch search(edges);
+      search.breaks_left = trails - 1;
+      search.trails.push_back(Trail{start, {}});
+      if (search.extend(start, edges.size())) {
+        order.trails = std::move(search.trails);
+        return order;
+      }
+    }
+  }
+  throw util::Error("euler_decompose: no decomposition found");
+}
+
+namespace {
+
+/// Joint two-plane search state: both planes consume edges with identical
+/// gate labels in lock step.
+struct JointSearch {
+  const std::vector<PlaneEdge>& pun;
+  const std::vector<PlaneEdge>& pdn;
+  std::map<NetId, int> deg_pun, deg_pdn;
+  std::vector<bool> used_pun, used_pdn;
+  std::vector<Trail> trails_pun, trails_pdn;
+  int breaks_left = 0;
+
+  JointSearch(const std::vector<PlaneEdge>& up, const std::vector<PlaneEdge>& dn)
+      : pun(up),
+        pdn(dn),
+        deg_pun(degrees(up)),
+        deg_pdn(degrees(dn)),
+        used_pun(up.size(), false),
+        used_pdn(dn.size(), false) {}
+
+  /// Candidate next uses of an unused edge in one plane: continuing the open
+  /// trail costs nothing; opening a new trail costs one break.
+  struct Move {
+    int edge = 0;
+    bool forward = true;
+    bool breaks = false;
+  };
+
+  static void candidate_moves(const std::vector<PlaneEdge>& edges,
+                              const std::map<NetId, int>& deg,
+                              const std::vector<bool>& used, NetId at,
+                              bool allow_break, int want_gate,
+                              std::vector<Move>& out) {
+    out.clear();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (used[i]) continue;
+      const auto& e = edges[i];
+      if (want_gate >= 0 && e.gate_input != want_gate) continue;
+      for (const bool forward : {true, false}) {
+        const NetId from = forward ? e.u : e.v;
+        if (from == at) {
+          out.push_back({static_cast<int>(i), forward, false});
+        } else if (allow_break && contact_worthy(at, deg.at(at)) &&
+                   contact_worthy(from, deg.at(from))) {
+          // A break leaves a contact at the stuck end and opens a new strip
+          // segment at `from`: both must be contact-worthy nets.
+          out.push_back({static_cast<int>(i), forward, true});
+        }
+      }
+    }
+    // Non-breaking moves first so cheap solutions are found early.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Move& a, const Move& b) {
+                       return a.breaks < b.breaks;
+                     });
+  }
+
+  bool step(std::size_t placed) {
+    if (placed == pun.size()) return true;
+    const NetId at_pun = trails_pun.back().steps.empty() && placed == 0
+                             ? trails_pun.back().start
+                             : current(trails_pun, pun);
+    const NetId at_pdn = trails_pdn.back().steps.empty() && placed == 0
+                             ? trails_pdn.back().start
+                             : current(trails_pdn, pdn);
+
+    std::vector<Move> moves_pun;
+    candidate_moves(pun, deg_pun, used_pun, at_pun, breaks_left > 0, -1,
+                    moves_pun);
+    std::vector<Move> moves_pdn;
+    for (const Move& mu : moves_pun) {
+      const int gate = pun[static_cast<std::size_t>(mu.edge)].gate_input;
+      const int budget_after_pun = breaks_left - (mu.breaks ? 1 : 0);
+      if (budget_after_pun < 0) continue;
+      candidate_moves(pdn, deg_pdn, used_pdn, at_pdn, budget_after_pun > 0,
+                      gate, moves_pdn);
+      for (const Move& md : moves_pdn) {
+        const int cost = (mu.breaks ? 1 : 0) + (md.breaks ? 1 : 0);
+        if (cost > breaks_left) continue;
+        apply(trails_pun, used_pun, pun, mu);
+        apply(trails_pdn, used_pdn, pdn, md);
+        breaks_left -= cost;
+        if (step(placed + 1)) return true;
+        breaks_left += cost;
+        undo(trails_pun, used_pun, mu);
+        undo(trails_pdn, used_pdn, md);
+      }
+    }
+    return false;
+  }
+
+  static NetId current(const std::vector<Trail>& trails,
+                       const std::vector<PlaneEdge>& edges) {
+    const Trail& t = trails.back();
+    if (t.steps.empty()) return t.start;
+    const auto& s = t.steps.back();
+    const auto& e = edges[static_cast<std::size_t>(s.edge)];
+    return s.forward ? e.v : e.u;
+  }
+
+  static void apply(std::vector<Trail>& trails, std::vector<bool>& used,
+                    const std::vector<PlaneEdge>& edges, const Move& m) {
+    const auto& e = edges[static_cast<std::size_t>(m.edge)];
+    const NetId from = m.forward ? e.u : e.v;
+    if (m.breaks) trails.push_back(Trail{from, {}});
+    if (trails.back().steps.empty()) trails.back().start = from;
+    trails.back().steps.push_back({m.edge, m.forward});
+    used[static_cast<std::size_t>(m.edge)] = true;
+  }
+
+  static void undo(std::vector<Trail>& trails, std::vector<bool>& used,
+                   const Move& m) {
+    used[static_cast<std::size_t>(m.edge)] = false;
+    trails.back().steps.pop_back();
+    if (m.breaks) trails.pop_back();
+  }
+};
+
+std::vector<NetId> start_candidates(const std::vector<PlaneEdge>& edges,
+                                    NetId preferred) {
+  const auto deg = degrees(edges);
+  std::vector<NetId> odd, all;
+  for (const auto& [net, d] : deg) {
+    if (!contact_worthy(net, d)) continue;  // strips start on contacts
+    all.push_back(net);
+    if (d % 2 != 0) odd.push_back(net);
+  }
+  std::vector<NetId>& pool = odd.empty() ? all : odd;
+  std::stable_sort(pool.begin(), pool.end(), [&](NetId a, NetId b) {
+    return (a == preferred) > (b == preferred);
+  });
+  return pool;
+}
+
+}  // namespace
+
+std::optional<CommonOrdering> find_common_ordering(
+    const std::vector<PlaneEdge>& pun, const std::vector<PlaneEdge>& pdn) {
+  CNFET_REQUIRE(!pun.empty() && !pdn.empty());
+  // Same gate-label multiset is required for a common ordering.
+  {
+    std::map<int, int> cu, cd;
+    for (const auto& e : pun) ++cu[e.gate_input];
+    for (const auto& e : pdn) ++cd[e.gate_input];
+    if (cu != cd) return std::nullopt;
+  }
+
+  const int floor_breaks =
+      (min_trail_count(pun) - 1) + (min_trail_count(pdn) - 1);
+  const int max_breaks = static_cast<int>(pun.size() + pdn.size());
+  for (int budget = floor_breaks; budget <= max_breaks; ++budget) {
+    for (const NetId start_pun :
+         start_candidates(pun, netlist::CellNetlist::kVdd)) {
+      for (const NetId start_pdn :
+           start_candidates(pdn, netlist::CellNetlist::kOut)) {
+        JointSearch search(pun, pdn);
+        search.breaks_left = budget;
+        search.trails_pun.push_back(Trail{start_pun, {}});
+        search.trails_pdn.push_back(Trail{start_pdn, {}});
+        if (search.step(0)) {
+          CommonOrdering result;
+          result.pun.trails = std::move(search.trails_pun);
+          result.pdn.trails = std::move(search.trails_pdn);
+          result.gate_sequence = result.pun.gate_sequence(pun);
+          CNFET_REQUIRE(result.gate_sequence ==
+                        result.pdn.gate_sequence(pdn));
+          return result;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cnfet::euler

@@ -1,0 +1,175 @@
+#include "flow/gate_netlist.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace cnfet::flow {
+
+int GateNetlist::add_net(const std::string& name) {
+  net_names_.push_back(name);
+  return num_nets() - 1;
+}
+
+const std::string& GateNetlist::net_name(int net) const {
+  CNFET_REQUIRE(net >= 0 && net < num_nets());
+  return net_names_[static_cast<std::size_t>(net)];
+}
+
+void GateNetlist::mark_input(int net) {
+  CNFET_REQUIRE(net >= 0 && net < num_nets());
+  inputs_.push_back(net);
+}
+
+void GateNetlist::mark_output(int net) {
+  CNFET_REQUIRE(net >= 0 && net < num_nets());
+  outputs_.push_back(net);
+}
+
+void GateNetlist::add_gate(Gate gate) {
+  CNFET_REQUIRE(gate.cell != nullptr);
+  CNFET_REQUIRE(static_cast<int>(gate.inputs.size()) ==
+                gate.cell->built.netlist.num_inputs());
+  for (const int n : gate.inputs) CNFET_REQUIRE(n >= 0 && n < num_nets());
+  CNFET_REQUIRE(gate.output >= 0 && gate.output < num_nets());
+  gates_.push_back(std::move(gate));
+}
+
+std::vector<const Gate*> GateNetlist::topological_order() const {
+  std::map<int, const Gate*> driver_of;
+  for (const auto& g : gates_) {
+    CNFET_REQUIRE_MSG(driver_of.find(g.output) == driver_of.end(),
+                      "multiple drivers on net " + net_name(g.output));
+    driver_of[g.output] = &g;
+  }
+  std::vector<const Gate*> order;
+  std::map<const Gate*, int> state;  // 0 new, 1 visiting, 2 done
+  std::vector<const Gate*> stack;
+
+  auto visit = [&](const Gate* g, auto&& self) -> void {
+    if (state[g] == 2) return;
+    CNFET_REQUIRE_MSG(state[g] != 1, "combinational cycle");
+    state[g] = 1;
+    for (const int in : g->inputs) {
+      const auto it = driver_of.find(in);
+      if (it != driver_of.end()) self(it->second, self);
+    }
+    state[g] = 2;
+    order.push_back(g);
+  };
+  for (const auto& g : gates_) visit(&g, visit);
+  return order;
+}
+
+const Gate* GateNetlist::driver(int net) const {
+  for (const auto& g : gates_) {
+    if (g.output == net) return &g;
+  }
+  return nullptr;
+}
+
+std::vector<const Gate*> GateNetlist::sinks(int net) const {
+  std::vector<const Gate*> out;
+  for (const auto& g : gates_) {
+    for (const int in : g.inputs) {
+      if (in == net) {
+        out.push_back(&g);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double GateNetlist::net_load(int net, double wire_cap_per_fanout,
+                             double output_load) const {
+  double load = 0.0;
+  for (const auto* g : sinks(net)) {
+    for (std::size_t pin = 0; pin < g->inputs.size(); ++pin) {
+      if (g->inputs[pin] == net) {
+        load += g->cell->input_cap[pin] + wire_cap_per_fanout;
+      }
+    }
+  }
+  for (const int po : outputs_) {
+    if (po == net) load += output_load;
+  }
+  return load;
+}
+
+std::vector<bool> GateNetlist::simulate(std::uint64_t input_row) const {
+  std::vector<bool> value(static_cast<std::size_t>(num_nets()), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    value[static_cast<std::size_t>(inputs_[i])] = (input_row >> i) & 1;
+  }
+  for (const auto* g : topological_order()) {
+    std::uint64_t row = 0;
+    for (std::size_t pin = 0; pin < g->inputs.size(); ++pin) {
+      if (value[static_cast<std::size_t>(g->inputs[pin])]) row |= 1ull << pin;
+    }
+    value[static_cast<std::size_t>(g->output)] =
+        g->cell->built.function.eval(row);
+  }
+  return value;
+}
+
+namespace {
+
+std::string drive_suffix(double drive) {
+  return "_" + std::to_string(static_cast<int>(drive)) + "X";
+}
+
+}  // namespace
+
+GateNetlist build_full_adder(const liberty::Library& library,
+                             const FullAdderOptions& options) {
+  GateNetlist nl;
+  const int a = nl.add_net("A");
+  const int b = nl.add_net("B");
+  const int cin = nl.add_net("CIN");
+  nl.mark_input(a);
+  nl.mark_input(b);
+  nl.mark_input(cin);
+
+  const auto& nand2 =
+      library.find("NAND2" + drive_suffix(options.nand_drive));
+  auto mk = [&](const std::string& name, int x, int y) {
+    const int out = nl.add_net(name);
+    nl.add_gate(Gate{&nand2, {x, y}, out, name});
+    return out;
+  };
+
+  // Classic 9-NAND full adder.
+  const int n1 = mk("n1", a, b);
+  const int n2 = mk("n2", a, n1);
+  const int n3 = mk("n3", b, n1);
+  const int axb = mk("axb", n2, n3);  // A xor B
+  const int n5 = mk("n5", axb, cin);
+  const int n6 = mk("n6", axb, n5);
+  const int n7 = mk("n7", cin, n5);
+  int sum = mk("sum", n6, n7);
+  int carry = mk("carry", n1, n5);
+
+  auto buffer = [&](int net, const std::string& name, double drive) {
+    // Two inverters preserve polarity: a 2X pre-driver into the final stage.
+    const auto& pre = library.find("INV_2X");
+    const auto& fin = library.find("INV" + drive_suffix(drive));
+    const int mid = nl.add_net(name + "_pre");
+    const int out = nl.add_net(name + "_buf");
+    nl.add_gate(Gate{&pre, {net}, mid, name + "_bufpre"});
+    nl.add_gate(Gate{&fin, {mid}, out, name + "_buf"});
+    return out;
+  };
+  if (options.sum_buffer_drive > 0) {
+    sum = buffer(sum, "sum", options.sum_buffer_drive);
+  }
+  if (options.carry_buffer_drive > 0) {
+    carry = buffer(carry, "carry", options.carry_buffer_drive);
+  }
+
+  nl.mark_output(sum);
+  nl.mark_output(carry);
+  return nl;
+}
+
+}  // namespace cnfet::flow

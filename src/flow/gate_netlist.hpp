@@ -1,0 +1,73 @@
+// Gate-level netlists over a characterized library: the object the paper's
+// "logic-to-GDSII" flow synthesizes, places and times.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liberty/library.hpp"
+
+namespace cnfet::flow {
+
+/// One placed-able logic gate instance.
+struct Gate {
+  const liberty::LibCell* cell = nullptr;
+  std::vector<int> inputs;  ///< net ids, in cell pin order
+  int output = -1;          ///< net id
+  std::string name;
+};
+
+class GateNetlist {
+ public:
+  [[nodiscard]] int add_net(const std::string& name);
+  [[nodiscard]] int num_nets() const {
+    return static_cast<int>(net_names_.size());
+  }
+  [[nodiscard]] const std::string& net_name(int net) const;
+
+  void mark_input(int net);
+  void mark_output(int net);
+  [[nodiscard]] const std::vector<int>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<int>& outputs() const { return outputs_; }
+
+  void add_gate(Gate gate);
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] std::vector<Gate>& gates() { return gates_; }
+
+  /// Gates in topological order (inputs before users); throws on cycles.
+  [[nodiscard]] std::vector<const Gate*> topological_order() const;
+
+  /// The gate driving a net, or nullptr for primary inputs.
+  [[nodiscard]] const Gate* driver(int net) const;
+  /// Gates reading a net.
+  [[nodiscard]] std::vector<const Gate*> sinks(int net) const;
+
+  /// Capacitive load on a net: sink pin caps + per-fanout wire capacitance.
+  [[nodiscard]] double net_load(int net, double wire_cap_per_fanout,
+                                double output_load) const;
+
+  /// Exhaustive functional simulation (switch-level truth of each cell):
+  /// value of every net for one primary-input assignment.
+  [[nodiscard]] std::vector<bool> simulate(std::uint64_t input_row) const;
+
+ private:
+  std::vector<std::string> net_names_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+  std::vector<Gate> gates_;
+};
+
+/// The paper's case-study-2 workload: a full adder from nine NAND2 gates
+/// (Sum and Carry), with optional output buffer inverters.
+struct FullAdderOptions {
+  double nand_drive = 2.0;
+  double sum_buffer_drive = 0.0;    ///< 0 = no buffer
+  double carry_buffer_drive = 0.0;  ///< 0 = no buffer
+};
+
+/// Builds the 9-NAND full adder; nets: inputs A,B,CIN; outputs SUM,CARRY
+/// (inverted convention matches buffering choices; see implementation).
+[[nodiscard]] GateNetlist build_full_adder(const liberty::Library& library,
+                                           const FullAdderOptions& options = {});
+
+}  // namespace cnfet::flow

@@ -1,0 +1,37 @@
+#include "flow/gds_export.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace cnfet::flow {
+
+gds::Library export_gds(const PlacementResult& placement,
+                        const std::string& top_name) {
+  CNFET_REQUIRE(!placement.instances.empty());
+  gds::Library lib;
+  lib.name = "CNFETDK";
+
+  gds::Structure top;
+  top.name = top_name;
+
+  std::set<std::string> emitted;
+  for (const auto& inst : placement.instances) {
+    const auto& cell_layout = inst.gate->cell->built.layout;
+    const std::string& cell_name = inst.gate->cell->name;
+    if (emitted.insert(cell_name).second) {
+      auto s = cell_layout.to_gds();
+      s.name = cell_name;
+      lib.structures.push_back(std::move(s));
+    }
+    top.srefs.push_back(gds::Sref{cell_name, inst.origin});
+    top.texts.push_back(gds::Text{10, 0,
+                                  {inst.origin.x + inst.width / 2,
+                                   inst.origin.y + inst.height / 2},
+                                  inst.gate->name});
+  }
+  lib.structures.push_back(std::move(top));
+  return lib;
+}
+
+}  // namespace cnfet::flow

@@ -1,0 +1,16 @@
+// GDS export of a placed design: one structure per distinct library cell
+// plus a top structure instantiating them by reference — the last step of
+// the logic-to-GDSII flow.
+#pragma once
+
+#include <string>
+
+#include "flow/placer.hpp"
+#include "gds/gds.hpp"
+
+namespace cnfet::flow {
+
+[[nodiscard]] gds::Library export_gds(const PlacementResult& placement,
+                                      const std::string& top_name);
+
+}  // namespace cnfet::flow

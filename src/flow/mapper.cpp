@@ -1,0 +1,217 @@
+#include "flow/mapper.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace cnfet::flow {
+
+namespace {
+
+/// AND-inverter graph with structural hashing. Literals pack node index and
+/// complement bit; node 0 is the constant-true node (unused by mapping but
+/// keeps literal 0 distinct).
+class Aig {
+ public:
+  struct Node {
+    int a = -1, b = -1;   ///< fanin literals (-1 for PIs)
+    int var = -1;         ///< primary input index for leaves
+  };
+
+  [[nodiscard]] static int make_literal(int node, bool complemented) {
+    return node * 2 + (complemented ? 1 : 0);
+  }
+  [[nodiscard]] static int node_of(int literal) { return literal / 2; }
+  [[nodiscard]] static bool complemented(int literal) { return literal & 1; }
+
+  [[nodiscard]] int input(int var) {
+    const auto it = input_nodes_.find(var);
+    if (it != input_nodes_.end()) return make_literal(it->second, false);
+    nodes_.push_back(Node{-1, -1, var});
+    const int node = static_cast<int>(nodes_.size()) - 1;
+    input_nodes_[var] = node;
+    return make_literal(node, false);
+  }
+
+  [[nodiscard]] int make_and(int la, int lb) {
+    if (la > lb) std::swap(la, lb);
+    const auto key = std::make_pair(la, lb);
+    const auto it = hash_.find(key);
+    if (it != hash_.end()) return make_literal(it->second, false);
+    nodes_.push_back(Node{la, lb, -1});
+    const int node = static_cast<int>(nodes_.size()) - 1;
+    hash_[key] = node;
+    return make_literal(node, false);
+  }
+
+  [[nodiscard]] int build(const logic::Expr& expr) {
+    using logic::Expr;
+    switch (expr.kind()) {
+      case Expr::Kind::kVar:
+        return input(expr.var_index());
+      case Expr::Kind::kAnd: {
+        int lit = build(expr.children().front());
+        for (std::size_t i = 1; i < expr.children().size(); ++i) {
+          lit = make_and(lit, build(expr.children()[i]));
+        }
+        return lit;
+      }
+      case Expr::Kind::kOr: {
+        // x + y = NOT(NOT x AND NOT y)
+        int lit = build(expr.children().front()) ^ 1;
+        for (std::size_t i = 1; i < expr.children().size(); ++i) {
+          lit = make_and(lit, build(expr.children()[i]) ^ 1);
+        }
+        return lit ^ 1;
+      }
+    }
+    throw util::Error("unreachable expr kind");
+  }
+
+  [[nodiscard]] const Node& node(int index) const {
+    return nodes_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::map<int, int> input_nodes_;
+  std::map<std::pair<int, int>, int> hash_;
+};
+
+/// Phase-aware covering: produces the net computing a literal, emitting
+/// gates on demand and caching per-literal results.
+class Cover {
+ public:
+  Cover(const Aig& aig, GateNetlist& netlist, const liberty::Library& library,
+        const std::vector<int>& input_nets, double drive)
+      : aig_(aig),
+        netlist_(netlist),
+        input_nets_(input_nets),
+        inv_(&library.find(suffixed("INV", drive, library))),
+        nand_(&library.find(suffixed("NAND2", drive, library))),
+        nor_(&library.find(suffixed("NOR2", drive, library))) {}
+
+  int nand_count = 0;
+  int nor_count = 0;
+  int inv_count = 0;
+
+  /// Net carrying the value of `literal`.
+  [[nodiscard]] int realize(int literal) {
+    const auto it = net_of_.find(literal);
+    if (it != net_of_.end()) return it->second;
+
+    const int node = Aig::node_of(literal);
+    const bool neg = Aig::complemented(literal);
+    const auto& n = aig_.node(node);
+
+    int net = -1;
+    if (n.var >= 0) {
+      // Primary input leaf.
+      if (!neg) {
+        net = input_nets_[static_cast<std::size_t>(n.var)];
+      } else {
+        net = emit(inv_, {realize(literal ^ 1)}, "inv");
+        ++inv_count;
+      }
+    } else if (neg) {
+      // NOT(a AND b) == NAND2(a, b).
+      net = emit(nand_, {realize(n.a), realize(n.b)}, "nand");
+      ++nand_count;
+    } else {
+      // a AND b == NOR2(NOT a, NOT b) — one gate over complemented fanins —
+      // versus NAND2 + INV. Choose by realized-cost lookahead: fanins that
+      // already exist in the needed phase are free.
+      const int cost_nor = (net_of_.count(n.a ^ 1) ? 0 : 1) +
+                           (net_of_.count(n.b ^ 1) ? 0 : 1);
+      const int cost_nand =
+          1 + (net_of_.count(n.a) ? 0 : 1) + (net_of_.count(n.b) ? 0 : 1);
+      if (cost_nor <= cost_nand) {
+        net = emit(nor_, {realize(n.a ^ 1), realize(n.b ^ 1)}, "nor");
+        ++nor_count;
+      } else {
+        const int inner = realize(literal ^ 1);
+        net = emit(inv_, {inner}, "inv");
+        ++inv_count;
+      }
+    }
+    net_of_[literal] = net;
+    return net;
+  }
+
+ private:
+  [[nodiscard]] static std::string suffixed(const std::string& base,
+                                            double drive,
+                                            const liberty::Library&) {
+    return base + "_" + std::to_string(static_cast<int>(drive)) + "X";
+  }
+
+  int emit(const liberty::LibCell* cell, std::vector<int> ins,
+           const std::string& prefix) {
+    const int out =
+        netlist_.add_net(prefix + std::to_string(serial_++));
+    netlist_.add_gate(Gate{cell, std::move(ins), out,
+                           prefix + std::to_string(serial_)});
+    return out;
+  }
+
+  const Aig& aig_;
+  GateNetlist& netlist_;
+  const std::vector<int>& input_nets_;
+  const liberty::LibCell* inv_;
+  const liberty::LibCell* nand_;
+  const liberty::LibCell* nor_;
+  std::map<int, int> net_of_;
+  int serial_ = 0;
+};
+
+}  // namespace
+
+MapResult map_expressions(const std::vector<OutputSpec>& outputs,
+                          const std::vector<std::string>& input_names,
+                          const liberty::Library& library,
+                          const MapOptions& options) {
+  CNFET_REQUIRE(!outputs.empty());
+  MapResult result;
+
+  std::vector<int> input_nets;
+  for (const auto& name : input_names) {
+    const int net = result.netlist.add_net(name);
+    result.netlist.mark_input(net);
+    input_nets.push_back(net);
+  }
+
+  Aig aig;
+  Cover cover(aig, result.netlist, library, input_nets, options.drive);
+  for (const auto& out : outputs) {
+    CNFET_REQUIRE_MSG(out.expr.num_vars() <=
+                          static_cast<int>(input_names.size()),
+                      "expression uses undeclared inputs");
+    int literal = aig.build(out.expr);
+    if (out.inverted) literal ^= 1;
+    const int net = cover.realize(literal);
+    result.netlist.mark_output(net);
+  }
+  result.nand_count = cover.nand_count;
+  result.nor_count = cover.nor_count;
+  result.inv_count = cover.inv_count;
+  return result;
+}
+
+bool verify_mapping(const MapResult& result,
+                    const std::vector<OutputSpec>& outputs, int num_inputs) {
+  CNFET_REQUIRE(num_inputs <= 16);
+  for (std::uint64_t row = 0; row < (1ull << num_inputs); ++row) {
+    const auto values = result.netlist.simulate(row);
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      const auto want_table = outputs[o].expr.truth(num_inputs);
+      bool want = want_table.eval(row);
+      if (outputs[o].inverted) want = !want;
+      const int net = result.netlist.outputs()[o];
+      if (values[static_cast<std::size_t>(net)] != want) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cnfet::flow

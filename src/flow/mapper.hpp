@@ -1,0 +1,55 @@
+// Technology mapping: Boolean expressions to library gates.
+//
+// The input function is built into an AND-inverter graph (structural
+// hashing, OR via De Morgan), then a phase-aware dynamic program covers it
+// with NAND2/NOR2/INV cells: each AND node can be produced inverted by one
+// NAND2 (cheap) or non-inverted by a NOR2 over complemented fanins or
+// NAND2+INV, whichever costs fewer gates. This is the classic
+// inverter-minimizing NAND mapping, which is the natural target for a
+// static CNFET library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/gate_netlist.hpp"
+#include "logic/expr.hpp"
+
+namespace cnfet::flow {
+
+/// One named output to synthesize. `inverted` requests NOT expr(x).
+struct OutputSpec {
+  std::string name;
+  logic::Expr expr{logic::Expr::var(0)};
+  bool inverted = false;
+};
+
+struct MapOptions {
+  /// Drive strength for the mapped gates (suffix on library lookups).
+  double drive = 1.0;
+};
+
+struct MapResult {
+  GateNetlist netlist;
+  int nand_count = 0;
+  int nor_count = 0;
+  int inv_count = 0;
+
+  [[nodiscard]] int total_gates() const {
+    return nand_count + nor_count + inv_count;
+  }
+};
+
+/// Maps outputs over shared primary inputs `input_names`.
+[[nodiscard]] MapResult map_expressions(
+    const std::vector<OutputSpec>& outputs,
+    const std::vector<std::string>& input_names,
+    const liberty::Library& library, const MapOptions& options = {});
+
+/// Checks the mapped netlist against the specification exhaustively
+/// (up to 2^inputs vectors); returns true when every output matches.
+[[nodiscard]] bool verify_mapping(const MapResult& result,
+                                  const std::vector<OutputSpec>& outputs,
+                                  int num_inputs);
+
+}  // namespace cnfet::flow

@@ -1,0 +1,46 @@
+// Coordinate system for layout geometry.
+//
+// Layout coordinates are integers in *millilambda* (1/1000 of the
+// lithography half-pitch parameter lambda). The paper works in the lambda
+// convention at the 65nm node (lambda = 32.5nm, so the 2-lambda gate length
+// is the 65nm drawn gate). Integer millilambda keeps non-integer widths such
+// as the CMOS pMOS = 1.4 x nMOS rule exact (1.4 * 4 lambda = 5600 mlambda).
+#pragma once
+
+#include <cstdint>
+
+namespace cnfet::geom {
+
+/// Layout database unit: millilambda.
+using Coord = std::int64_t;
+
+/// Millilambda per lambda.
+inline constexpr Coord kLambda = 1000;
+
+/// Lambda in nanometres at the 65nm node used throughout the paper.
+inline constexpr double kLambdaNm65 = 32.5;
+
+/// Converts a (possibly fractional) lambda quantity to database units.
+[[nodiscard]] constexpr Coord from_lambda(double lambdas) {
+  // Round-half-away-from-zero; widths in this codebase are >= 0 in practice.
+  const double scaled = lambdas * static_cast<double>(kLambda);
+  return static_cast<Coord>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+}
+
+/// Database units -> lambda as a double.
+[[nodiscard]] constexpr double to_lambda(Coord c) {
+  return static_cast<double>(c) / static_cast<double>(kLambda);
+}
+
+/// Database units -> nanometres at the 65nm node.
+[[nodiscard]] constexpr double to_nm(Coord c, double lambda_nm = kLambdaNm65) {
+  return to_lambda(c) * lambda_nm;
+}
+
+/// Square database units -> square lambda.
+[[nodiscard]] constexpr double area_to_lambda2(std::int64_t mlambda2) {
+  return static_cast<double>(mlambda2) /
+         (static_cast<double>(kLambda) * static_cast<double>(kLambda));
+}
+
+}  // namespace cnfet::geom

@@ -1,0 +1,33 @@
+#include "geom/rect.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cnfet::geom {
+
+std::optional<Rect> Rect::intersection(const Rect& r) const {
+  const Vec2 lo{std::max(lo_.x, r.lo_.x), std::max(lo_.y, r.lo_.y)};
+  const Vec2 hi{std::min(hi_.x, r.hi_.x), std::min(hi_.y, r.hi_.y)};
+  if (lo.x > hi.x || lo.y > hi.y) return std::nullopt;
+  return Rect(lo, hi);
+}
+
+Rect Rect::bbox_with(const Rect& r) const {
+  return Rect({std::min(lo_.x, r.lo_.x), std::min(lo_.y, r.lo_.y)},
+              {std::max(hi_.x, r.hi_.x), std::max(hi_.y, r.hi_.y)});
+}
+
+Rect Rect::expanded(Coord d) const {
+  CNFET_REQUIRE_MSG(2 * d + width() >= 0 && 2 * d + height() >= 0,
+                    "shrink would invert rectangle");
+  return Rect({lo_.x - d, lo_.y - d}, {hi_.x + d, hi_.y + d});
+}
+
+std::string Rect::to_string() const {
+  std::ostringstream out;
+  out << "[(" << lo_.x << "," << lo_.y << ")-(" << hi_.x << "," << hi_.y
+      << ")]";
+  return out.str();
+}
+
+}  // namespace cnfet::geom

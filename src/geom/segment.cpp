@@ -1,0 +1,48 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+
+namespace cnfet::geom {
+
+std::optional<std::pair<double, double>> Segment::clip(const Rect& r) const {
+  // Liang–Barsky: intersect parameter ranges for the four half-planes.
+  const double dx = b_.x - a_.x;
+  const double dy = b_.y - a_.y;
+  double t0 = 0.0;
+  double t1 = 1.0;
+
+  auto clip_axis = [&](double d, double q_lo, double q_hi) -> bool {
+    // d is the direction component; q_lo/q_hi are (bound - origin).
+    if (d == 0.0) {
+      return q_lo <= 0.0 && q_hi >= 0.0;  // parallel: inside slab or not
+    }
+    double ta = q_lo / d;
+    double tb = q_hi / d;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    return t0 <= t1;
+  };
+
+  const auto lo = to_dvec(r.lo());
+  const auto hi = to_dvec(r.hi());
+  if (!clip_axis(dx, lo.x - a_.x, hi.x - a_.x)) return std::nullopt;
+  if (!clip_axis(dy, lo.y - a_.y, hi.y - a_.y)) return std::nullopt;
+  return std::make_pair(t0, t1);
+}
+
+std::vector<Crossing> crossings(const Segment& seg,
+                                const std::vector<Rect>& rects) {
+  std::vector<Crossing> out;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    if (auto tt = seg.clip(rects[i])) {
+      out.push_back(Crossing{i, tt->first, tt->second});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Crossing& a, const Crossing& b) {
+    return a.t_enter < b.t_enter;
+  });
+  return out;
+}
+
+}  // namespace cnfet::geom

@@ -1,0 +1,241 @@
+#include "layout/cell_layout.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cnfet::layout {
+
+using geom::Coord;
+using geom::Rect;
+using geom::Vec2;
+
+const char* to_string(CellScheme scheme) {
+  return scheme == CellScheme::kScheme1 ? "scheme1" : "scheme2";
+}
+
+namespace {
+
+double max_plane_width(const netlist::CellNetlist& cell,
+                       netlist::FetType type) {
+  double w = 0;
+  for (const auto& f : cell.fets()) {
+    if (f.type == type) w = std::max(w, f.width_lambda);
+  }
+  CNFET_REQUIRE(w > 0);
+  return w;
+}
+
+}  // namespace
+
+CellLayout::CellLayout(std::string name, const netlist::CellNetlist& cell,
+                       const PlanePlan& plan, const DesignRules& rules,
+                       CellScheme scheme)
+    : name_(std::move(name)), plan_(plan), rules_(rules), scheme_(scheme) {
+  const double wp = max_plane_width(cell, netlist::FetType::kP);
+  const double wn = max_plane_width(cell, netlist::FetType::kN);
+
+  std::vector<Coord> anchors;
+  const std::vector<Coord>* anchor_ptr = nullptr;
+  // Stretch-align the gate stripes across the two strips so plain vertical
+  // poly connects them. Only the compact technique does this (it is cheap:
+  // the plane lengths are close); the etched baselines are drawn compact
+  // per plane, as in the paper's Figure 3(a), which is what forces their
+  // via-on-gate connections.
+  if (scheme == CellScheme::kScheme1 && plan.gates_aligned &&
+      plan.style == LayoutStyle::kCompactEuler) {
+    anchors = align_gate_positions(plan.pun, plan.pdn, rules_);
+    anchor_ptr = &anchors;
+  }
+
+  // Build both strips at y=0, then stack/abut.
+  pun_ = build_strip(plan.pun, netlist::FetType::kP, wp, rules_, 0, anchor_ptr);
+  pdn_ = build_strip(plan.pdn, netlist::FetType::kN, wn, rules_, 0, anchor_ptr);
+
+  const Coord gap = rules_.db(rules_.pun_pdn_gap);
+  const Coord lane = rules_.db(rules_.strip_lane);
+  const Coord pin = rules_.db(rules_.pin_width);
+
+  if (scheme == CellScheme::kScheme1) {
+    // PDN at the bottom, PUN above, strip-to-strip separation = gap.
+    pun_.translate({0, pdn_.strip.hi().y - pun_.strip.lo().y + gap});
+    // Input pins live in the gap, centred on the PUN gate columns (the PUN
+    // always carries every input at least once).
+    const Coord pin_y0 = pdn_.strip.hi().y + (gap - pin) / 2;
+    std::vector<int> seen;
+    for (const auto& gsh : pun_.gates) {
+      if (std::find(seen.begin(), seen.end(), gsh.input) != seen.end()) {
+        continue;
+      }
+      seen.push_back(gsh.input);
+      const Coord cx = gsh.rect.center().x;
+      pins_.push_back(Pin{std::string(1, static_cast<char>('A' + gsh.input)),
+                          Rect({cx - pin / 2, pin_y0},
+                               {cx + pin / 2, pin_y0 + pin})});
+    }
+  } else {
+    // Scheme 2: PDN left, PUN right, separated by an etched lane so stray
+    // tubes cannot bridge the two bands laterally.
+    pun_.translate({pdn_.band.hi().x - pun_.band.lo().x + lane, 0});
+    // Pins along the top edge, one per input, evenly spread.
+    const Coord top =
+        std::max(pun_.strip.hi().y, pdn_.strip.hi().y) + rules_.db(1.0);
+    std::vector<int> inputs;
+    for (const auto& gsh : pun_.gates) {
+      if (std::find(inputs.begin(), inputs.end(), gsh.input) == inputs.end()) {
+        inputs.push_back(gsh.input);
+      }
+    }
+    Coord cx = 0;
+    for (const int input : inputs) {
+      pins_.push_back(Pin{std::string(1, static_cast<char>('A' + input)),
+                          Rect({cx, top}, {cx + pin, top + pin})});
+      cx += pin + rules_.db(2.0);
+    }
+  }
+
+  // Core = strips plus the separating gap/lane (no boundary margin): this
+  // matches the paper's ratio bookkeeping (W + 6 + W for a CNFET inverter).
+  Rect core = pun_.strip.bbox_with(pdn_.strip);
+  core_ = core;
+  bbox_ = pun_.band.bbox_with(pdn_.band);
+  for (const auto& p : pins_) bbox_ = bbox_.bbox_with(p.rect);
+  bbox_ = bbox_.expanded(rules_.db(rules_.cell_margin));
+}
+
+double CellLayout::core_width_lambda() const {
+  return geom::to_lambda(core_.width());
+}
+
+double CellLayout::core_height_lambda() const {
+  return geom::to_lambda(core_.height());
+}
+
+int CellLayout::etch_slot_count() const {
+  return static_cast<int>(pun_.etches.size() + pdn_.etches.size());
+}
+
+int CellLayout::via_on_gate_count() const {
+  if (scheme_ == CellScheme::kScheme2) return 0;  // metal routing, no poly
+  // In a compact (single-strip) plane a misaligned gate can always extend
+  // beyond the strip and jog on field poly through the inter-strip gap. In
+  // the branch-isolated etched layouts the inner gates are hemmed between
+  // contacts and etched slots, so a misaligned gate can only connect
+  // through a via on the active gate region — the paper's Figure 3(a)
+  // observation about gate B.
+  if (plan_.style == LayoutStyle::kCompactEuler ||
+      plan_.style == LayoutStyle::kNaiveVulnerable) {
+    return 0;
+  }
+  // A gate input connects by straight poly when some PUN stripe of that
+  // input x-overlaps some PDN stripe of the same input.
+  int vias = 0;
+  std::vector<int> inputs;
+  for (const auto& g : pun_.gates) {
+    if (std::find(inputs.begin(), inputs.end(), g.input) == inputs.end()) {
+      inputs.push_back(g.input);
+    }
+  }
+  for (const int input : inputs) {
+    bool connectable = false;
+    for (const auto& gp : pun_.gates) {
+      if (gp.input != input) continue;
+      for (const auto& gn : pdn_.gates) {
+        if (gn.input != input) continue;
+        const bool overlap = gp.rect.lo().x < gn.rect.hi().x &&
+                             gn.rect.lo().x < gp.rect.hi().x;
+        if (overlap) connectable = true;
+      }
+    }
+    if (!connectable) ++vias;
+  }
+  return vias;
+}
+
+CellGeometry CellLayout::geometry() const {
+  CellGeometry g;
+  g.bands.push_back({pun_.band, netlist::FetType::kP});
+  g.bands.push_back({pdn_.band, netlist::FetType::kN});
+  for (const auto* strip : {&pun_, &pdn_}) {
+    g.contacts.insert(g.contacts.end(), strip->contacts.begin(),
+                      strip->contacts.end());
+    g.gates.insert(g.gates.end(), strip->gates.begin(), strip->gates.end());
+    g.etches.insert(g.etches.end(), strip->etches.begin(),
+                    strip->etches.end());
+  }
+  return g;
+}
+
+gds::Structure CellLayout::to_gds(const LayerMap& layers) const {
+  gds::Structure s;
+  s.name = name_;
+  auto add = [&](std::int16_t layer, const Rect& r) {
+    s.boundaries.push_back(gds::Boundary::rect(layer, r));
+  };
+  for (const auto* strip : {&pun_, &pdn_}) {
+    add(layers.active, strip->strip);
+    add(strip->doping == netlist::FetType::kP ? layers.pdope : layers.ndope,
+        strip->band);
+    for (const auto& c : strip->contacts) add(layers.contact, c.rect);
+    for (const auto& g : strip->gates) add(layers.gate, g.rect);
+    for (const auto& e : strip->etches) add(layers.etch, e);
+  }
+  for (const auto& p : pins_) {
+    add(layers.metal1, p.rect);
+    s.texts.push_back(
+        gds::Text{layers.pin_text, 0, p.rect.center(), p.name});
+  }
+  return s;
+}
+
+std::string CellLayout::ascii() const {
+  // 1 character per lambda; origin at bbox lo.
+  const Rect box = bbox_;
+  const auto cols = static_cast<std::size_t>(
+      std::max<Coord>(1, box.width() / geom::kLambda));
+  const auto rows = static_cast<std::size_t>(
+      std::max<Coord>(1, box.height() / geom::kLambda));
+  CNFET_REQUIRE_MSG(cols <= 400 && rows <= 200, "cell too large for ascii");
+  std::vector<std::string> canvas(rows, std::string(cols, '.'));
+
+  auto paint = [&](const Rect& r, char ch) {
+    const auto c0 = static_cast<std::size_t>(
+        std::max<Coord>(0, (r.lo().x - box.lo().x) / geom::kLambda));
+    const auto c1 = static_cast<std::size_t>(std::min<Coord>(
+        static_cast<Coord>(cols), (r.hi().x - box.lo().x) / geom::kLambda));
+    const auto r0 = static_cast<std::size_t>(
+        std::max<Coord>(0, (r.lo().y - box.lo().y) / geom::kLambda));
+    const auto r1 = static_cast<std::size_t>(std::min<Coord>(
+        static_cast<Coord>(rows), (r.hi().y - box.lo().y) / geom::kLambda));
+    for (std::size_t row = r0; row < r1; ++row) {
+      for (std::size_t col = c0; col < c1; ++col) {
+        canvas[rows - 1 - row][col] = ch;  // y grows upward
+      }
+    }
+  };
+
+  for (const auto* strip : {&pdn_, &pun_}) {
+    paint(strip->strip, strip->doping == netlist::FetType::kP ? '-' : '=');
+    for (const auto& e : strip->etches) paint(e, '%');
+    for (const auto& c : strip->contacts) {
+      paint(c.rect, c.net == netlist::CellNetlist::kVdd   ? 'V'
+                    : c.net == netlist::CellNetlist::kGnd ? 'G'
+                    : c.net == netlist::CellNetlist::kOut ? 'O'
+                                                          : '+');
+    }
+    for (const auto& g : strip->gates) {
+      paint(g.rect, static_cast<char>('a' + g.input));
+    }
+  }
+  for (const auto& p : pins_) paint(p.rect, '@');
+
+  std::ostringstream out;
+  out << name_ << "  (" << to_string(plan_.style) << ", "
+      << to_string(scheme_) << ")  core " << core_width_lambda() << "l x "
+      << core_height_lambda() << "l\n";
+  for (const auto& line : canvas) out << line << '\n';
+  return out.str();
+}
+
+}  // namespace cnfet::layout

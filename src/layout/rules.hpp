@@ -1,0 +1,73 @@
+// Lambda-convention design rules.
+//
+// The paper customizes an industrial 65nm CMOS platform (lambda = 32.5nm)
+// for CNFETs and states the rules its area numbers rest on: gate length
+// Lg = 2l, minimum etched region 2l, via ~3l (larger than the gate), input
+// pin size 6l (limits the CNFET PUN-PDN separation), and 10l n-to-p
+// diffusion spacing for the CMOS baseline. Everything here is expressed in
+// lambda; strips convert to database units on construction.
+#pragma once
+
+#include "geom/coord.hpp"
+
+namespace cnfet::layout {
+
+/// Which technology a layout is drawn in. CNFET cells put two CNT strips in
+/// one doping pair; CMOS cells need the wide n-well/p-well separation.
+enum class Tech { kCnfet65, kCmos65 };
+
+struct DesignRules {
+  // --- strip-direction (horizontal) rules, in lambda ---
+  double gate_len = 2.0;            ///< Lg
+  double contact_len = 3.0;         ///< Ls = Ld (source/drain metal contact)
+  double gate_contact_space = 1.0;  ///< Lgs = Lgd
+  double gate_gate_space = 2.0;     ///< series gates with no contact between
+  double etch_len = 2.0;            ///< minimum etched region (lithography)
+  double contact_contact_space = 2.0;  ///< adjacent metal contacts
+  double via_size = 3.0;            ///< via edge (> gate_len: vertical gating
+                                    ///  costs area when it is even allowed)
+
+  // --- cross-strip (vertical) rules, in lambda ---
+  /// Gate poly extension beyond the CNT band. Immunity requires the gate to
+  /// cover every tube the active etch can leave behind, i.e.
+  /// gate_overhang >= cnt_margin.
+  double gate_overhang = 2.0;
+  /// Registration tolerance of the active (CNT) etch mask: mispositioned
+  /// tubes can survive up to this far outside the drawn strip.
+  double cnt_margin = 1.0;
+  /// Input pin edge (also the lower bound on the CNFET PUN-PDN gap).
+  double pin_width = 6.0;
+  /// Vertical separation between the PUN and PDN strips (scheme 1).
+  double pun_pdn_gap = 6.0;
+  /// Scheme-2 lateral etch lane between the side-by-side strips.
+  double strip_lane = 4.0;
+  /// Margin from any shape to the cell boundary.
+  double cell_margin = 2.0;
+
+  Tech tech = Tech::kCnfet65;
+
+  /// CNFET rules: symmetric n/p devices, pin-limited 6-lambda strip gap.
+  [[nodiscard]] static DesignRules cnfet65() { return DesignRules{}; }
+
+  /// CMOS 65nm baseline: identical strip-direction rules, but the PUN-PDN
+  /// separation is the 10-lambda n-to-p diffusion spacing the paper quotes.
+  [[nodiscard]] static DesignRules cmos65() {
+    DesignRules r;
+    r.pun_pdn_gap = 10.0;
+    r.tech = Tech::kCmos65;
+    return r;
+  }
+
+  [[nodiscard]] geom::Coord db(double lambdas) const {
+    return geom::from_lambda(lambdas);
+  }
+};
+
+/// Sizing conventions the paper uses for the two technologies: CNFET n- and
+/// p-devices have similar drive (width ratio 1.0); the CMOS baseline draws
+/// pMOS = 1.4 x nMOS.
+[[nodiscard]] constexpr double pn_width_ratio(Tech tech) {
+  return tech == Tech::kCnfet65 ? 1.0 : 1.4;
+}
+
+}  // namespace cnfet::layout

@@ -1,0 +1,339 @@
+#include "liberty/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/transient.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace cnfet::liberty {
+
+using netlist::CellNetlist;
+
+NldmTable::NldmTable(std::vector<double> slews, std::vector<double> loads)
+    : slews_(std::move(slews)), loads_(std::move(loads)) {
+  CNFET_REQUIRE(!slews_.empty() && !loads_.empty());
+  values_.assign(slews_.size() * loads_.size(), 0.0);
+}
+
+void NldmTable::set(std::size_t si, std::size_t li, double value) {
+  CNFET_REQUIRE(si < slews_.size() && li < loads_.size());
+  values_[si * loads_.size() + li] = value;
+}
+
+double NldmTable::at(std::size_t si, std::size_t li) const {
+  CNFET_REQUIRE(si < slews_.size() && li < loads_.size());
+  return values_[si * loads_.size() + li];
+}
+
+namespace {
+
+/// Index of the lower grid neighbour plus the interpolation fraction.
+std::pair<std::size_t, double> bracket(const std::vector<double>& grid,
+                                       double x) {
+  if (x <= grid.front()) return {0, 0.0};
+  if (x >= grid.back()) return {grid.size() - 2, 1.0};
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    if (x >= grid[i] && x <= grid[i + 1]) {
+      return {i, (x - grid[i]) / (grid[i + 1] - grid[i])};
+    }
+  }
+  return {grid.size() - 2, 1.0};
+}
+
+}  // namespace
+
+double NldmTable::lookup(double slew, double load) const {
+  if (slews_.size() == 1 && loads_.size() == 1) return at(0, 0);
+  const auto [si, sf] = slews_.size() == 1
+                            ? std::pair<std::size_t, double>{0, 0.0}
+                            : bracket(slews_, slew);
+  const auto [li, lf] = loads_.size() == 1
+                            ? std::pair<std::size_t, double>{0, 0.0}
+                            : bracket(loads_, load);
+  const std::size_t si1 = std::min(si + 1, slews_.size() - 1);
+  const std::size_t li1 = std::min(li + 1, loads_.size() - 1);
+  const double v00 = at(si, li);
+  const double v01 = at(si, li1);
+  const double v10 = at(si1, li);
+  const double v11 = at(si1, li1);
+  return v00 * (1 - sf) * (1 - lf) + v01 * (1 - sf) * lf +
+         v10 * sf * (1 - lf) + v11 * sf * lf;
+}
+
+const TimingArc& LibCell::arc(int input, bool out_rising) const {
+  for (const auto& a : arcs) {
+    if (a.input == input && a.out_rising == out_rising) return a;
+  }
+  throw util::Error("no such timing arc in " + name);
+}
+
+double LibCell::worst_delay(double slew, double load) const {
+  double worst = 0.0;
+  for (const auto& a : arcs) {
+    worst = std::max(worst, a.delay.lookup(slew, load));
+  }
+  return worst;
+}
+
+device::DeviceModel bind_device(const netlist::Fet& fet,
+                                const CharacterizeOptions& options) {
+  if (options.layout_tech == layout::Tech::kCnfet65) {
+    const double electrical_lambda =
+        fet.width_lambda * options.cnfet_width_scale;
+    const int tubes = std::max(
+        1, static_cast<int>(std::lround(electrical_lambda *
+                                        options.tubes_per_lambda)));
+    const double width_nm = electrical_lambda * options.tech.lambda_nm;
+    return device::cnfet_device(device::CnfetParams{}, tubes, width_nm,
+                                options.tech);
+  }
+  const double width_um = fet.width_lambda * options.tech.lambda_nm * 1e-3;
+  const auto params = fet.type == netlist::FetType::kN
+                          ? device::MosParams::nmos65()
+                          : device::MosParams::pmos65();
+  return device::mos_device(params, width_um, options.tech);
+}
+
+namespace {
+
+/// Builds a sim circuit for `cell` with input i toggling and the others
+/// pinned to static values; returns measured delay/slew/energy.
+struct ArcMeasurement {
+  double delay;
+  double out_slew;
+  double energy;
+};
+
+ArcMeasurement measure_arc(const CellNetlist& cell, int input,
+                           std::uint64_t side_values, bool in_rising,
+                           double slew, double load,
+                           const CharacterizeOptions& options) {
+  sim::Circuit ckt;
+  const double vdd = options.tech.vdd;
+
+  // Map cell nets to circuit nodes.
+  std::vector<int> node_of(static_cast<std::size_t>(cell.num_nets()), 0);
+  node_of[CellNetlist::kGnd] = sim::Circuit::kGround;
+  node_of[CellNetlist::kVdd] = ckt.add_node("vdd");
+  node_of[CellNetlist::kOut] = ckt.add_node("out");
+  for (int n = 3; n < cell.num_nets(); ++n) {
+    node_of[static_cast<std::size_t>(n)] = ckt.add_node(cell.net_name(n));
+  }
+  const int supply =
+      ckt.add_vsource(node_of[CellNetlist::kVdd], sim::Circuit::kGround,
+                      sim::Pwl(vdd));
+
+  // Input drivers.
+  const double t_edge = 60e-12;
+  std::vector<int> input_node(static_cast<std::size_t>(cell.num_inputs()));
+  for (int i = 0; i < cell.num_inputs(); ++i) {
+    input_node[static_cast<std::size_t>(i)] =
+        ckt.add_node("in" + std::to_string(i));
+    sim::Pwl wave;
+    if (i == input) {
+      wave = in_rising ? sim::Pwl::pulse(0.0, vdd, t_edge, slew, 1.0, slew)
+                       : sim::Pwl::pulse(vdd, 0.0, t_edge, slew, 1.0, slew);
+    } else {
+      wave = sim::Pwl(((side_values >> i) & 1) ? vdd : 0.0);
+    }
+    (void)ckt.add_vsource(input_node[static_cast<std::size_t>(i)],
+                          sim::Circuit::kGround, wave);
+  }
+
+  // FETs and caps.
+  double input_gate_cap = 0.0;
+  for (const auto& f : cell.fets()) {
+    auto model = bind_device(f, options);
+    const int gate = input_node[static_cast<std::size_t>(f.gate_input)];
+    const auto polarity = f.type == netlist::FetType::kN ? sim::Polarity::kN
+                                                         : sim::Polarity::kP;
+    // Junction caps at both channel terminals.
+    ckt.add_capacitor(node_of[static_cast<std::size_t>(f.a)],
+                      sim::Circuit::kGround, model.c_drain / 2);
+    ckt.add_capacitor(node_of[static_cast<std::size_t>(f.b)],
+                      sim::Circuit::kGround, model.c_drain / 2);
+    if (f.gate_input == input) input_gate_cap += model.c_gate;
+    ckt.add_capacitor(gate, sim::Circuit::kGround, model.c_gate);
+    ckt.add_fet(polarity, gate,
+                node_of[static_cast<std::size_t>(f.a)],
+                node_of[static_cast<std::size_t>(f.b)], std::move(model));
+  }
+  (void)input_gate_cap;
+  ckt.add_capacitor(node_of[CellNetlist::kOut], sim::Circuit::kGround, load);
+
+  sim::TransientOptions topt;
+  topt.tstep = 0.25e-12;
+  topt.tstop = 400e-12;
+  const sim::Transient tran(ckt, topt);
+
+  const auto& vin = tran.v(input_node[static_cast<std::size_t>(input)]);
+  const auto& vout = tran.v(node_of[CellNetlist::kOut]);
+  const double t_in = vin.cross(vdd / 2, in_rising, 0.0);
+  CNFET_REQUIRE(t_in > 0);
+  // Strongly overdriven cells can switch before the input midpoint
+  // (negative delay), so search from the start of the input edge.
+  const double t_start =
+      vin.cross(in_rising ? 0.02 * vdd : 0.98 * vdd, in_rising, 0.0);
+  const bool out_rising = vout[0] < vdd / 2;
+  const double t_out = vout.cross(vdd / 2, out_rising, t_start);
+  std::string dbg_inputs;
+  for (int i = 0; i < cell.num_inputs(); ++i) {
+    dbg_inputs += " in" + std::to_string(i) + "=" +
+                  std::to_string(
+                      tran.v(input_node[static_cast<std::size_t>(i)])[0]);
+  }
+  CNFET_REQUIRE_MSG(
+      t_out > 0, "output did not switch during arc measurement (input " +
+                     std::to_string(input) + (in_rising ? " rising" : " falling") +
+                     ", side " + std::to_string(side_values) + ", slew " +
+                     std::to_string(slew * 1e12) + "ps, load " +
+                     std::to_string(load * 1e15) + "fF, vout0 " +
+                     std::to_string(vout[0]) + "," + dbg_inputs + ")");
+  const double t20 = vout.cross(out_rising ? 0.2 * vdd : 0.8 * vdd,
+                                out_rising, t_start);
+  const double t80 = vout.cross(out_rising ? 0.8 * vdd : 0.2 * vdd,
+                                out_rising, t_start);
+
+  ArcMeasurement m;
+  // Floor at a symbolic 50fs: NLDM entries must stay positive even when an
+  // overdriven cell beats its own input edge.
+  m.delay = std::max(5e-14, t_out - t_in);
+  m.out_slew = std::max(1e-13, t80 - t20);
+  m.energy = tran.source_energy(supply, 0.0, topt.tstop);
+  return m;
+}
+
+/// Chooses static side-input values so that toggling `input` switches OUT:
+/// search all assignments for one where the function differs between
+/// input=0 and input=1.
+std::uint64_t sensitizing_side_values(const logic::TruthTable& f, int input) {
+  const int n = f.num_inputs();
+  for (std::uint64_t side = 0; side < (1ull << n); ++side) {
+    const std::uint64_t low = side & ~(1ull << input);
+    const std::uint64_t high = low | (1ull << input);
+    if (f.eval(low) != f.eval(high)) return low;
+  }
+  throw util::Error("input is not observable in the cell function");
+}
+
+}  // namespace
+
+LibCell characterize_cell(const layout::CellSpec& spec, double drive,
+                          const CharacterizeOptions& options) {
+  layout::CellBuildOptions build;
+  build.tech = options.layout_tech;
+  build.style = options.style;
+  build.scheme = options.scheme;
+  build.drive = drive;
+  build.max_finger_width_lambda = 12.0;  // high-drive cells fold
+  auto built = layout::build_cell(spec, build);
+
+  LibCell lib{spec.name + (drive == 1.0
+                               ? std::string("_1X")
+                               : "_" + std::to_string(static_cast<int>(drive)) +
+                                     "X"),
+              std::move(built),
+              drive,
+              {},
+              0.0,
+              {}};
+  auto& cell_ref = lib.built;  // alias now that `built` is moved from
+  lib.area_lambda2 = cell_ref.layout.core_area_lambda2();
+
+  // Input pin capacitance: sum of bound gate caps per input.
+  lib.input_cap.assign(
+      static_cast<std::size_t>(cell_ref.netlist.num_inputs()), 0.0);
+  for (const auto& f : cell_ref.netlist.fets()) {
+    lib.input_cap[static_cast<std::size_t>(f.gate_input)] +=
+        bind_device(f, options).c_gate;
+  }
+
+  for (int input = 0; input < cell_ref.netlist.num_inputs(); ++input) {
+    const std::uint64_t side =
+        sensitizing_side_values(cell_ref.function, input);
+    for (const bool in_rising : {true, false}) {
+      TimingArc arc;
+      arc.input = input;
+      // Static cells are inverting along every sensitized path.
+      arc.out_rising = !in_rising;
+      arc.delay = NldmTable(options.slew_grid, options.load_grid);
+      arc.out_slew = NldmTable(options.slew_grid, options.load_grid);
+      arc.energy = NldmTable(options.slew_grid, options.load_grid);
+      for (std::size_t si = 0; si < options.slew_grid.size(); ++si) {
+        for (std::size_t li = 0; li < options.load_grid.size(); ++li) {
+          const auto m = measure_arc(cell_ref.netlist, input, side, in_rising,
+                                     options.slew_grid[si],
+                                     options.load_grid[li], options);
+          arc.delay.set(si, li, m.delay);
+          arc.out_slew.set(si, li, m.out_slew);
+          arc.energy.set(si, li, m.energy);
+        }
+      }
+      lib.arcs.push_back(std::move(arc));
+    }
+  }
+
+  return lib;
+}
+
+const LibCell& Library::find(const std::string& name) const {
+  for (const auto& c : cells_) {
+    if (c.name == name) return c;
+  }
+  throw util::Error("no such library cell: " + name);
+}
+
+Library build_library(const CharacterizeOptions& options) {
+  Library lib;
+  // The paper's full adder uses NAND2 2X plus inverters of 4X/7X/9X; we
+  // characterize a drive ladder for INV and NAND2 and 1X for the rest.
+  for (const double drive : {1.0, 2.0, 4.0, 7.0, 9.0}) {
+    lib.add(characterize_cell(layout::find_cell_spec("INV"), drive, options));
+  }
+  for (const double drive : {1.0, 2.0, 4.0}) {
+    lib.add(
+        characterize_cell(layout::find_cell_spec("NAND2"), drive, options));
+  }
+  for (const char* name : {"NAND3", "NOR2", "NOR3", "AOI21", "AOI22",
+                           "OAI21", "OAI22"}) {
+    lib.add(characterize_cell(layout::find_cell_spec(name), 1.0, options));
+  }
+  return lib;
+}
+
+std::string to_liberty_text(const Library& library,
+                            const std::string& lib_name) {
+  std::ostringstream out;
+  out << "library (" << lib_name << ") {\n";
+  out << "  time_unit : \"1ps\";\n  capacitive_load_unit (1, ff);\n";
+  for (const auto& cell : library.cells()) {
+    out << "  cell (" << cell.name << ") {\n";
+    out << "    area : " << cell.area_lambda2 << ";\n";
+    for (std::size_t i = 0; i < cell.input_cap.size(); ++i) {
+      out << "    pin (" << static_cast<char>('A' + i)
+          << ") { direction : input; capacitance : "
+          << cell.input_cap[i] * 1e15 << "; }\n";
+    }
+    out << "    pin (OUT) { direction : output; function : \"!("
+        << cell.built.pdn_expr.to_string() << ")\";\n";
+    for (const auto& arc : cell.arcs) {
+      out << "      timing () { related_pin : \""
+          << static_cast<char>('A' + arc.input) << "\"; /* "
+          << (arc.out_rising ? "rise" : "fall") << " */\n        values: ";
+      for (std::size_t si = 0; si < arc.delay.slews().size(); ++si) {
+        for (std::size_t li = 0; li < arc.delay.loads().size(); ++li) {
+          out << util::fmt_fixed(arc.delay.at(si, li) * 1e12, 2) << " ";
+        }
+      }
+      out << "\n      }\n";
+    }
+    out << "    }\n  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace cnfet::liberty

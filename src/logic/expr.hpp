@@ -1,0 +1,66 @@
+// AND/OR expressions over positive literals.
+//
+// A static (CMOS-style or CNFET) gate computes out = NOT g(x) where g is the
+// *pull-down* function realized by the NFET network: AND = series, OR =
+// parallel. The pull-up network realizes the Boolean dual of g with PFETs.
+// These expressions are therefore the single source of truth a cell needs:
+// netlist construction, Euler-path layout synthesis, and functional
+// verification all start from the same tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+
+namespace cnfet::logic {
+
+/// Immutable AND/OR/VAR expression tree (positive literals only).
+class Expr {
+ public:
+  enum class Kind { kVar, kAnd, kOr };
+
+  [[nodiscard]] static Expr var(int index);
+  [[nodiscard]] static Expr make_and(std::vector<Expr> terms);
+  [[nodiscard]] static Expr make_or(std::vector<Expr> terms);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] int var_index() const;
+  [[nodiscard]] const std::vector<Expr>& children() const { return children_; }
+
+  /// Number of leaf literals (with multiplicity) — equals the number of
+  /// transistors needed in one plane.
+  [[nodiscard]] int num_literals() const;
+
+  /// Highest variable index + 1.
+  [[nodiscard]] int num_vars() const;
+
+  /// Boolean dual: swap AND and OR (used to derive the pull-up network).
+  [[nodiscard]] Expr dual() const;
+
+  /// Truth table over n inputs (n >= num_vars()).
+  [[nodiscard]] TruthTable truth(int n) const;
+
+  /// Longest chain of AND-series levels: the transistor stack depth when
+  /// realized as a series/parallel network (sizing needs this).
+  [[nodiscard]] int stack_depth() const;
+
+  /// Expression text using variable names A, B, C, ... '*' and '+'.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::kVar;
+  int var_ = -1;
+  std::vector<Expr> children_;
+};
+
+/// Parses expressions such as "A*B+C", "(A+B+C)*D", "A&B | C*D".
+/// Variables are single capital letters A..Z mapped to indices 0..25 in
+/// order of first appearance, or named explicitly via the `names` output.
+/// Grammar: or := and ('+'|'|') and ... ; and := primary (('*'|'&')?
+/// primary) ... ; primary := NAME | '(' or ')'.
+[[nodiscard]] Expr parse_expr(const std::string& text,
+                              std::vector<std::string>* names = nullptr);
+
+}  // namespace cnfet::logic

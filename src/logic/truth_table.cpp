@@ -1,0 +1,66 @@
+#include "logic/truth_table.hpp"
+
+#include <bit>
+
+namespace cnfet::logic {
+
+TruthTable TruthTable::var(int i, int n) {
+  CNFET_REQUIRE(valid_arity(n) && i >= 0 && i < n);
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    if ((row >> i) & 1) t.set(row, true);
+  }
+  return t;
+}
+
+TruthTable TruthTable::constant(bool value, int n) {
+  TruthTable t(n);
+  if (value) t.bits_ = mask(n);
+  return t;
+}
+
+int TruthTable::count_ones() const {
+  return std::popcount(bits_ & mask(n_));
+}
+
+bool TruthTable::depends_on(int i) const {
+  CNFET_REQUIRE(i >= 0 && i < n_);
+  for (std::uint64_t row = 0; row < num_rows(); ++row) {
+    if (((row >> i) & 1) == 0 && eval(row) != eval(row | (1ull << i))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TruthTable TruthTable::extended(int n) const {
+  CNFET_REQUIRE(valid_arity(n) && n >= n_);
+  TruthTable t(n);
+  for (std::uint64_t row = 0; row < t.num_rows(); ++row) {
+    t.set(row, eval(row & (num_rows() - 1)));
+  }
+  return t;
+}
+
+TruthTable TruthTable::permuted(const int* perm) const {
+  TruthTable t(n_);
+  for (std::uint64_t row = 0; row < num_rows(); ++row) {
+    std::uint64_t src = 0;
+    for (int j = 0; j < n_; ++j) {
+      if ((row >> j) & 1) src |= (1ull << perm[j]);
+    }
+    t.set(row, eval(src));
+  }
+  return t;
+}
+
+std::string TruthTable::to_string() const {
+  std::string s;
+  s.reserve(num_rows());
+  for (std::uint64_t row = 0; row < num_rows(); ++row) {
+    s.push_back(eval(row) ? '1' : '0');
+  }
+  return s;
+}
+
+}  // namespace cnfet::logic

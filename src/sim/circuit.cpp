@@ -1,0 +1,90 @@
+#include "sim/circuit.hpp"
+
+#include <algorithm>
+
+namespace cnfet::sim {
+
+double Pwl::at(double t) const {
+  CNFET_REQUIRE(!points_.empty());
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const auto [t0, v0] = points_[i];
+    const auto [t1, v1] = points_[i + 1];
+    if (t >= t0 && t <= t1) {
+      if (t1 == t0) return v1;
+      return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+    }
+  }
+  return points_.back().second;
+}
+
+Pwl Pwl::pulse(double v0, double v1, double t0, double trise, double t1,
+               double tfall) {
+  CNFET_REQUIRE(t0 >= 0 && trise > 0 && t1 >= t0 + trise && tfall > 0);
+  Pwl w;
+  w.add(0.0, v0);
+  w.add(t0, v0);
+  w.add(t0 + trise, v1);
+  w.add(t1, v1);
+  w.add(t1 + tfall, v0);
+  return w;
+}
+
+int Circuit::add_node(const std::string& name) {
+  node_names_.push_back(name);
+  return num_nodes() - 1;
+}
+
+void Circuit::add_capacitor(int a, int b, double farads) {
+  check_node(a);
+  check_node(b);
+  CNFET_REQUIRE(farads >= 0);
+  if (farads > 0) caps_.push_back({a, b, farads});
+}
+
+void Circuit::add_resistor(int a, int b, double ohms) {
+  check_node(a);
+  check_node(b);
+  CNFET_REQUIRE(ohms > 0);
+  ress_.push_back({a, b, 1.0 / ohms});
+}
+
+int Circuit::add_vsource(int pos, int neg, Pwl wave) {
+  check_node(pos);
+  check_node(neg);
+  sources_.push_back({pos, neg, std::move(wave)});
+  return static_cast<int>(sources_.size()) - 1;
+}
+
+void Circuit::add_fet(Polarity polarity, int gate, int drain, int source,
+                      device::DeviceModel model) {
+  check_node(gate);
+  check_node(drain);
+  check_node(source);
+  CNFET_REQUIRE(model.ids != nullptr);
+  fets_.push_back({polarity, gate, drain, source, std::move(model)});
+}
+
+void Circuit::add_inverter(const device::InverterModel& inv, int in, int out,
+                           int vdd_node) {
+  add_fet(Polarity::kP, in, out, vdd_node, inv.pfet);
+  add_fet(Polarity::kN, in, out, kGround, inv.nfet);
+  // Lumped input/output capacitance: gate caps to ground at the input,
+  // junction caps at the output.
+  add_capacitor(in, kGround, inv.c_in());
+  add_capacitor(out, kGround, inv.c_out());
+}
+
+double fet_current(const Circuit::Fet& fet, double vg, double vd, double vs) {
+  if (fet.polarity == Polarity::kN) {
+    if (vd >= vs) return fet.model.ids(vg - vs, vd - vs);
+    return -fet.model.ids(vg - vd, vs - vd);
+  }
+  // PFET: conducts when the gate is below source; mirror into the model's
+  // first quadrant.
+  if (vs >= vd) return -fet.model.ids(vs - vg, vs - vd);
+  return fet.model.ids(vd - vg, vd - vs);
+}
+
+}  // namespace cnfet::sim

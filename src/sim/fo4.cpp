@@ -1,0 +1,56 @@
+#include "sim/fo4.hpp"
+
+namespace cnfet::sim {
+
+Fo4Result measure_fo4(const device::InverterModel& inv, double vdd) {
+  Circuit ckt;
+  const int vdd_main = ckt.add_node("vdd");
+  const int vdd_s3 = ckt.add_node("vdd_s3");
+  const int in = ckt.add_node("in");
+  const int n1 = ckt.add_node("n1");
+  const int n2 = ckt.add_node("n2");
+  const int n3 = ckt.add_node("n3");
+  const int n4 = ckt.add_node("n4");
+  const int n5 = ckt.add_node("n5");
+
+  (void)ckt.add_vsource(vdd_main, Circuit::kGround, Pwl(vdd));
+  const int s3_src = ckt.add_vsource(vdd_s3, Circuit::kGround, Pwl(vdd));
+
+  // Input: rise at 50ps, fall at 250ps (10ps edges), full cycle by 400ps.
+  const double t_rise = 50e-12;
+  const double t_fall = 250e-12;
+  (void)ckt.add_vsource(in, Circuit::kGround,
+                        Pwl::pulse(0.0, vdd, t_rise, 10e-12, t_fall, 10e-12));
+
+  ckt.add_inverter(inv, in, n1, vdd_main);
+  ckt.add_inverter(inv, n1, n2, vdd_main);
+  ckt.add_inverter(inv, n2, n3, vdd_s3);  // the measured stage
+  ckt.add_inverter(inv, n3, n4, vdd_main);
+  ckt.add_inverter(inv, n4, n5, vdd_main);
+  // Output of the last stage still sees a fanout-of-4-equivalent load.
+  ckt.add_capacitor(n5, Circuit::kGround, 4.0 * inv.c_in());
+
+  // Dummy loads: three extra inverter input capacitances per chain node.
+  for (const int node : {n1, n2, n3, n4}) {
+    ckt.add_capacitor(node, Circuit::kGround, 3.0 * inv.c_in());
+  }
+
+  TransientOptions options;
+  options.tstep = 0.1e-12;
+  options.tstop = 420e-12;
+  const Transient tran(ckt, options);
+
+  // Stage 3 inverts n2 -> n3; the chain input edge at `in` arrives at n2
+  // with the same polarity (two inversions).
+  const double d_rise =
+      propagation_delay(tran.v(n2), tran.v(n3), vdd, true, t_rise);
+  const double d_fall =
+      propagation_delay(tran.v(n2), tran.v(n3), vdd, false, t_fall);
+
+  Fo4Result result;
+  result.delay_s = 0.5 * (d_rise + d_fall);
+  result.energy_per_cycle_j = tran.source_energy(s3_src, 0.0, options.tstop);
+  return result;
+}
+
+}  // namespace cnfet::sim

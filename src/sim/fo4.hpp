@@ -1,0 +1,21 @@
+// The paper's case-study-1 experiment: a five-stage fanout-of-4 inverter
+// chain where the third stage is measured. Each internal node carries three
+// dummy inverter loads besides the chain successor (fanout 4); stage 3 has
+// its own supply source so its energy/cycle can be integrated in isolation.
+#pragma once
+
+#include "device/models.hpp"
+#include "sim/transient.hpp"
+
+namespace cnfet::sim {
+
+struct Fo4Result {
+  double delay_s = 0.0;             ///< average of rising/falling 50% delay
+  double energy_per_cycle_j = 0.0;  ///< stage-3 supply energy per full cycle
+};
+
+/// Measures stage 3 of a 5-stage FO4 chain of identical inverters.
+[[nodiscard]] Fo4Result measure_fo4(const device::InverterModel& inv,
+                                    double vdd = 1.0);
+
+}  // namespace cnfet::sim

@@ -1,0 +1,286 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cnfet::sim {
+
+double Waveform::cross(double level, bool rising, double after) const {
+  for (std::size_t k = 1; k < samples_.size(); ++k) {
+    const double t1 = time(k);
+    if (t1 < after) continue;
+    const double v0 = samples_[k - 1];
+    const double v1 = samples_[k];
+    const bool hit = rising ? (v0 < level && v1 >= level)
+                            : (v0 > level && v1 <= level);
+    if (hit) {
+      const double f = (level - v0) / (v1 - v0);
+      return time(k - 1) + f * tstep_;
+    }
+  }
+  return -1.0;
+}
+
+namespace {
+
+/// Dense LU solve with partial pivoting (in place); systems here are tiny.
+void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
+  auto at = [&](int r, int c) -> double& {
+    return a[static_cast<std::size_t>(r) * n + c];
+  };
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(pivot, col))) pivot = r;
+    }
+    CNFET_REQUIRE_MSG(std::fabs(at(pivot, col)) > 1e-18,
+                      "singular MNA matrix (floating node?)");
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(b[static_cast<std::size_t>(pivot)],
+                b[static_cast<std::size_t>(col)]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      const double f = at(r, col) / at(col, col);
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c) at(r, c) -= f * at(col, c);
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c) {
+      sum -= at(r, c) * b[static_cast<std::size_t>(c)];
+    }
+    b[static_cast<std::size_t>(r)] = sum / at(r, r);
+  }
+}
+
+}  // namespace
+
+Transient::Transient(const Circuit& circuit, const TransientOptions& options)
+    : circuit_(circuit), options_(options) {
+  CNFET_REQUIRE(options.tstep > 0 && options.tstop > options.tstep);
+  run();
+}
+
+void Transient::run() {
+  const int num_nodes = circuit_.num_nodes();
+  const int num_src = static_cast<int>(circuit_.sources().size());
+  const int dim = (num_nodes - 1) + num_src;
+  CNFET_REQUIRE(dim > 0);
+
+  auto vindex = [](int node) { return node - 1; };  // ground eliminated
+
+  std::vector<double> v(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<double> v_prev = v;
+
+  const auto steps =
+      static_cast<std::size_t>(options_.tstop / options_.tstep) + 1;
+  std::vector<std::vector<double>> node_samples(
+      static_cast<std::size_t>(num_nodes));
+  std::vector<std::vector<double>> source_samples(
+      static_cast<std::size_t>(num_src));
+
+  std::vector<double> jac(static_cast<std::size_t>(dim) * dim);
+  std::vector<double> rhs(static_cast<std::size_t>(dim));
+  std::vector<double> branch(static_cast<std::size_t>(num_src), 0.0);
+
+  // One backward-Euler Newton solve for the state at time t. Returns
+  // false when Newton fails to converge (caller retries with a smaller h).
+  auto solve_step = [&](double t, double h) -> bool {
+    for (int iter = 0; iter < options_.max_newton; ++iter) {
+      std::fill(jac.begin(), jac.end(), 0.0);
+      std::fill(rhs.begin(), rhs.end(), 0.0);
+      auto J = [&](int r, int c) -> double& {
+        return jac[static_cast<std::size_t>(r) * dim + c];
+      };
+      auto stamp_g = [&](int a, int b, double g) {
+        if (a > 0) J(vindex(a), vindex(a)) += g;
+        if (b > 0) J(vindex(b), vindex(b)) += g;
+        if (a > 0 && b > 0) {
+          J(vindex(a), vindex(b)) -= g;
+          J(vindex(b), vindex(a)) -= g;
+        }
+      };
+      auto kcl = [&](int node, double current_out) {
+        if (node > 0) rhs[static_cast<std::size_t>(vindex(node))] -= current_out;
+      };
+
+      for (const auto& r : circuit_.ress()) {
+        stamp_g(r.a, r.b, r.g);
+        kcl(r.a, r.g * (v[static_cast<std::size_t>(r.a)] -
+                        v[static_cast<std::size_t>(r.b)]));
+        kcl(r.b, r.g * (v[static_cast<std::size_t>(r.b)] -
+                        v[static_cast<std::size_t>(r.a)]));
+      }
+      for (const auto& c : circuit_.caps()) {
+        const double g = c.c / h;
+        const double dv_now = v[static_cast<std::size_t>(c.a)] -
+                              v[static_cast<std::size_t>(c.b)];
+        const double dv_old = v_prev[static_cast<std::size_t>(c.a)] -
+                              v_prev[static_cast<std::size_t>(c.b)];
+        const double i = g * (dv_now - dv_old);
+        stamp_g(c.a, c.b, g);
+        kcl(c.a, i);
+        kcl(c.b, -i);
+      }
+      for (const auto& f : circuit_.fets()) {
+        const double vg = v[static_cast<std::size_t>(f.gate)];
+        const double vd = v[static_cast<std::size_t>(f.drain)];
+        const double vs = v[static_cast<std::size_t>(f.source)];
+        const double i = fet_current(f, vg, vd, vs);
+        constexpr double dx = 1e-5;
+        const double di_dg = (fet_current(f, vg + dx, vd, vs) - i) / dx;
+        const double di_dd = (fet_current(f, vg, vd + dx, vs) - i) / dx;
+        const double di_ds = (fet_current(f, vg, vd, vs + dx) - i) / dx;
+        kcl(f.drain, i);
+        kcl(f.source, -i);
+        if (f.drain > 0) {
+          if (f.gate > 0) J(vindex(f.drain), vindex(f.gate)) += di_dg;
+          if (f.drain > 0) J(vindex(f.drain), vindex(f.drain)) += di_dd;
+          if (f.source > 0) J(vindex(f.drain), vindex(f.source)) += di_ds;
+        }
+        if (f.source > 0) {
+          if (f.gate > 0) J(vindex(f.source), vindex(f.gate)) -= di_dg;
+          if (f.drain > 0) J(vindex(f.source), vindex(f.drain)) -= di_dd;
+          if (f.source > 0) J(vindex(f.source), vindex(f.source)) -= di_ds;
+        }
+      }
+      for (int s = 0; s < num_src; ++s) {
+        const auto& src = circuit_.sources()[static_cast<std::size_t>(s)];
+        const int brow = (num_nodes - 1) + s;
+        const double ib = branch[static_cast<std::size_t>(s)];
+        // KCL contributions of the branch current.
+        if (src.pos > 0) {
+          J(vindex(src.pos), brow) += 1.0;
+          rhs[static_cast<std::size_t>(vindex(src.pos))] -= ib;
+        }
+        if (src.neg > 0) {
+          J(vindex(src.neg), brow) -= 1.0;
+          rhs[static_cast<std::size_t>(vindex(src.neg))] += ib;
+        }
+        // Branch equation v_pos - v_neg = V(t).
+        if (src.pos > 0) J(brow, vindex(src.pos)) += 1.0;
+        if (src.neg > 0) J(brow, vindex(src.neg)) -= 1.0;
+        rhs[static_cast<std::size_t>(brow)] -=
+            (v[static_cast<std::size_t>(src.pos)] -
+             v[static_cast<std::size_t>(src.neg)] - src.wave.at(t));
+      }
+
+      solve_dense(jac, rhs, dim);
+
+      double worst = 0.0;
+      for (int n = 1; n < num_nodes; ++n) {
+        double dv = rhs[static_cast<std::size_t>(vindex(n))];
+        dv = std::clamp(dv, -0.3, 0.3);  // Newton damping
+        v[static_cast<std::size_t>(n)] += dv;
+        worst = std::max(worst, std::fabs(dv));
+      }
+      for (int s = 0; s < num_src; ++s) {
+        branch[static_cast<std::size_t>(s)] +=
+            rhs[static_cast<std::size_t>((num_nodes - 1) + s)];
+      }
+      if (worst < options_.vtol) return true;
+    }
+    return false;
+  };
+
+  // Time step with halving retry: stiff coarse steps (the settle phase)
+  // occasionally defeat the damped Newton; sub-stepping always recovers.
+  std::vector<double> v_checkpoint;
+  auto step_with_retry = [&](double t, double h) {
+    v_checkpoint = v;
+    for (int halvings = 0; halvings <= 10; ++halvings) {
+      const int substeps = 1 << halvings;
+      const double hs = h / substeps;
+      bool ok = true;
+      for (int s = 0; s < substeps && ok; ++s) {
+        ok = solve_step(t, hs);
+        if (ok) v_prev = v;
+      }
+      if (ok) return;
+      v = v_checkpoint;
+      v_prev = v_checkpoint;
+    }
+    throw util::Error("transient Newton failed to converge");
+  };
+
+  // DC settling with sources frozen at t = 0: a fine-step phase first (the
+  // strong capacitive coupling keeps Newton well conditioned while the
+  // rails come up from zero), then a coarse-step phase so even large loads
+  // reach their operating point, then fine again to tighten.
+  for (int k = 0; k < options_.settle_steps; ++k) {
+    step_with_retry(0.0, options_.tstep);
+  }
+  for (int k = 0; k < options_.settle_steps / 2; ++k) {
+    step_with_retry(0.0, options_.settle_tstep);
+  }
+  for (int k = 0; k < options_.settle_steps / 4; ++k) {
+    step_with_retry(0.0, options_.tstep);
+  }
+
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double t = static_cast<double>(k) * options_.tstep;
+    if (k > 0) {
+      step_with_retry(t, options_.tstep);
+    }
+    for (int n = 0; n < num_nodes; ++n) {
+      node_samples[static_cast<std::size_t>(n)].push_back(
+          v[static_cast<std::size_t>(n)]);
+    }
+    for (int s = 0; s < num_src; ++s) {
+      // Positive = current delivered from the positive terminal into the
+      // circuit (the MNA branch variable is the current INTO pos terminal).
+      source_samples[static_cast<std::size_t>(s)].push_back(
+          -branch[static_cast<std::size_t>(s)]);
+    }
+  }
+
+  node_waves_.reserve(node_samples.size());
+  for (auto& s : node_samples) {
+    node_waves_.emplace_back(options_.tstep, std::move(s));
+  }
+  source_waves_.reserve(source_samples.size());
+  for (auto& s : source_samples) {
+    source_waves_.emplace_back(options_.tstep, std::move(s));
+  }
+}
+
+const Waveform& Transient::v(int node) const {
+  CNFET_REQUIRE(node >= 0 && node < circuit_.num_nodes());
+  return node_waves_[static_cast<std::size_t>(node)];
+}
+
+const Waveform& Transient::source_current(int source_index) const {
+  CNFET_REQUIRE(source_index >= 0 &&
+                source_index < static_cast<int>(source_waves_.size()));
+  return source_waves_[static_cast<std::size_t>(source_index)];
+}
+
+double Transient::source_energy(int source_index, double t0, double t1) const {
+  const auto& i = source_current(source_index);
+  const auto& src =
+      circuit_.sources()[static_cast<std::size_t>(source_index)];
+  double energy = 0.0;
+  for (std::size_t k = 1; k < i.size(); ++k) {
+    const double t = i.time(k);
+    if (t < t0 || t > t1) continue;
+    energy += src.wave.at(t) * i[k] * i.tstep();
+  }
+  return energy;
+}
+
+double propagation_delay(const Waveform& in, const Waveform& out, double vdd,
+                         bool in_rising, double after) {
+  const double mid = vdd / 2.0;
+  const double t_in = in.cross(mid, in_rising, after);
+  CNFET_REQUIRE_MSG(t_in >= 0, "input never crosses mid rail");
+  const double t_out = out.cross(mid, !in_rising, t_in);
+  CNFET_REQUIRE_MSG(t_out >= 0, "output never crosses mid rail");
+  return t_out - t_in;
+}
+
+}  // namespace cnfet::sim

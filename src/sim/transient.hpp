@@ -1,0 +1,73 @@
+// Backward-Euler transient engine with Newton iteration per step, plus the
+// waveform measurements the experiments need (propagation delay, slew,
+// energy drawn from a supply).
+#pragma once
+
+#include <vector>
+
+#include "sim/circuit.hpp"
+
+namespace cnfet::sim {
+
+struct TransientOptions {
+  double tstep = 0.2e-12;   ///< s
+  double tstop = 400e-12;   ///< s
+  int max_newton = 60;
+  double vtol = 1e-7;       ///< V convergence tolerance
+  /// Steps of source-frozen settling before t=0 (establishes the DC point).
+  int settle_steps = 400;
+  /// Settling timestep; coarse by default so even large loads reach DC
+  /// (pseudo-transient continuation towards the operating point).
+  double settle_tstep = 20e-12;
+};
+
+/// Sampled node voltages / branch currents over time.
+class Waveform {
+ public:
+  Waveform() = default;
+  Waveform(double tstep, std::vector<double> samples)
+      : tstep_(tstep), samples_(std::move(samples)) {}
+
+  [[nodiscard]] double tstep() const { return tstep_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] double time(std::size_t k) const { return tstep_ * k; }
+  [[nodiscard]] double operator[](std::size_t k) const { return samples_[k]; }
+
+  /// First time (linear-interpolated) the waveform crosses `level` in the
+  /// given direction at or after `after`; negative when it never does.
+  [[nodiscard]] double cross(double level, bool rising, double after = 0) const;
+
+ private:
+  double tstep_ = 0;
+  std::vector<double> samples_;
+};
+
+/// Runs the transient and exposes per-node waveforms and per-source
+/// branch-current waveforms.
+class Transient {
+ public:
+  Transient(const Circuit& circuit, const TransientOptions& options = {});
+
+  [[nodiscard]] const Waveform& v(int node) const;
+  /// Current flowing OUT of the source's positive terminal (A).
+  [[nodiscard]] const Waveform& source_current(int source_index) const;
+
+  /// Energy delivered by a source over [t0, t1] (J): integral of v*i dt.
+  [[nodiscard]] double source_energy(int source_index, double t0,
+                                     double t1) const;
+
+ private:
+  const Circuit& circuit_;
+  TransientOptions options_;
+  std::vector<Waveform> node_waves_;
+  std::vector<Waveform> source_waves_;
+
+  void run();
+};
+
+/// 50%-crossing propagation delay from input edge to output edge.
+[[nodiscard]] double propagation_delay(const Waveform& in, const Waveform& out,
+                                       double vdd, bool in_rising,
+                                       double after = 0.0);
+
+}  // namespace cnfet::sim

@@ -1,0 +1,53 @@
+// Error handling primitives shared by every cnfet module.
+//
+// Library errors are reported by throwing util::Error (invalid input,
+// impossible requests, malformed files). Internal contract violations use
+// CNFET_REQUIRE, which throws util::ContractViolation with file/line so a
+// failing precondition is diagnosable from a test log.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cnfet::util {
+
+/// Base class for all recoverable errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a CNFET_REQUIRE precondition fails; indicates a caller bug.
+class ContractViolation : public Error {
+ public:
+  ContractViolation(const char* expr, const char* file, int line,
+                    const std::string& msg)
+      : Error(std::string("contract violation: ") + expr + " at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : (": " + msg))) {
+  }
+};
+
+[[noreturn]] inline void throw_contract_violation(const char* expr,
+                                                  const char* file, int line,
+                                                  const std::string& msg = {}) {
+  throw ContractViolation(expr, file, line, msg);
+}
+
+}  // namespace cnfet::util
+
+/// Precondition check that stays on in release builds: layout synthesis is
+/// a correctness-critical offline tool, so we never trade checks for speed.
+#define CNFET_REQUIRE(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::cnfet::util::throw_contract_violation(#expr, __FILE__, __LINE__);    \
+    }                                                                        \
+  } while (false)
+
+#define CNFET_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::cnfet::util::throw_contract_violation(#expr, __FILE__, __LINE__,     \
+                                              (msg));                        \
+    }                                                                        \
+  } while (false)

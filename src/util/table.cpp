@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cnfet::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CNFET_REQUIRE(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CNFET_REQUIRE_MSG(cells.size() == header_.size(),
+                    "row arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 != row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 != width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  CNFET_REQUIRE(decimals >= 0 && decimals <= 12);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_ratio(double value, int decimals) {
+  return fmt_fixed(value, decimals) + "x";
+}
+
+std::string fmt_si(double value, const std::string& unit) {
+  if (value == 0.0) return "0" + unit;
+  static constexpr struct {
+    double scale;
+    const char* prefix;
+  } kPrefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+      {1e-18, "a"},
+  };
+  const double mag = std::fabs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale || p.scale == 1e-18) {
+      return fmt_fixed(value / p.scale, 2) + p.prefix + unit;
+    }
+  }
+  return fmt_fixed(value, 3) + unit;
+}
+
+}  // namespace cnfet::util

@@ -1,0 +1,42 @@
+// Plain-text table formatting used by the benchmark harnesses so each bench
+// binary can print rows with the same shape as the paper's tables/figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cnfet::util {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is the
+/// caller's responsibility (see fmt_* helpers below).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal, e.g. fmt_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fmt_fixed(double value, int decimals);
+
+/// Percentage with a trailing '%', e.g. fmt_percent(0.1667, 2) == "16.67%".
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals);
+
+/// Ratio with a trailing 'x', e.g. fmt_ratio(4.2, 1) == "4.2x".
+[[nodiscard]] std::string fmt_ratio(double value, int decimals);
+
+/// Engineering notation with SI prefix for seconds/farads/etc.,
+/// e.g. fmt_si(3.2e-12, "s") == "3.20ps".
+[[nodiscard]] std::string fmt_si(double value, const std::string& unit);
+
+}  // namespace cnfet::util

@@ -1,0 +1,220 @@
+// Tests of the CNT mispositioning analysis — the paper's central claim:
+// compact Euler layouts are 100% functionally immune, the prior etched
+// technique is immune, and the naive layout of Figure 2(b) is not.
+#include <gtest/gtest.h>
+
+#include "cnt/analyzer.hpp"
+#include "layout/cells.hpp"
+
+namespace cnfet::cnt {
+namespace {
+
+using layout::build_cell;
+using layout::CellBuildOptions;
+using layout::CellScheme;
+using layout::find_cell_spec;
+using layout::LayoutStyle;
+using netlist::CellNetlist;
+
+layout::BuiltCell make(const char* name, LayoutStyle style,
+                       CellScheme scheme = CellScheme::kScheme1) {
+  CellBuildOptions options;
+  options.style = style;
+  options.scheme = scheme;
+  return build_cell(find_cell_spec(name), options);
+}
+
+TEST(ExactImmunity, InverterImmuneEvenInNaiveLayout) {
+  // Figure 2(a): mispositioned tubes never break an inverter.
+  const auto built = make("INV", LayoutStyle::kNaiveVulnerable);
+  const auto report = check_exact(built.layout, built.netlist, built.function);
+  EXPECT_TRUE(report.immune) << report.to_string(built.netlist);
+  EXPECT_EQ(report.short_pairs, 0);
+}
+
+TEST(ExactImmunity, NaiveNand2IsVulnerableWithVddOutShort) {
+  // Figure 2(b): a fully doped tube shorts VDD to OUT between branches.
+  const auto built = make("NAND2", LayoutStyle::kNaiveVulnerable);
+  const auto report = check_exact(built.layout, built.netlist, built.function);
+  EXPECT_FALSE(report.immune);
+  EXPECT_GE(report.short_pairs, 1);
+  const auto text = report.to_string(built.netlist);
+  EXPECT_NE(text.find("short"), std::string::npos) << text;
+}
+
+TEST(ExactImmunity, EtchedNand2IsImmune) {
+  // Figure 2(c): the [6] technique restores immunity with etched regions.
+  const auto built = make("NAND2", LayoutStyle::kEtchedIsolatedBranches);
+  const auto report = check_exact(built.layout, built.netlist, built.function);
+  EXPECT_TRUE(report.immune) << report.to_string(built.netlist);
+}
+
+TEST(ExactImmunity, CompactEulerFamilyIsFullyImmuneBothSchemes) {
+  // The paper's headline: 100% immunity without etched regions.
+  for (const auto& spec : layout::standard_cell_family()) {
+    for (const auto scheme : {CellScheme::kScheme1, CellScheme::kScheme2}) {
+      const auto built = make(spec.name.c_str(), LayoutStyle::kCompactEuler,
+                              scheme);
+      const auto report =
+          check_exact(built.layout, built.netlist, built.function);
+      EXPECT_TRUE(report.immune)
+          << spec.name << " " << layout::to_string(scheme) << ": "
+          << report.to_string(built.netlist);
+      EXPECT_EQ(report.short_pairs, 0) << spec.name;
+    }
+  }
+}
+
+TEST(ExactImmunity, EtchedFamilyIsImmuneToo) {
+  for (const auto& spec : layout::standard_cell_family()) {
+    const auto built =
+        make(spec.name.c_str(), LayoutStyle::kEtchedIsolatedBranches);
+    const auto report =
+        check_exact(built.layout, built.netlist, built.function);
+    EXPECT_TRUE(report.immune)
+        << spec.name << ": " << report.to_string(built.netlist);
+  }
+}
+
+TEST(ExactImmunity, NaiveVulnerabilityAcrossFamily) {
+  // Every multi-branch cell is vulnerable without etch/reordering; the
+  // inverter is the only safe one.
+  for (const char* name : {"NAND2", "NAND3", "NOR2", "NOR3", "AOI21",
+                           "AOI22", "OAI21", "OAI22"}) {
+    const auto built = make(name, LayoutStyle::kNaiveVulnerable);
+    const auto report =
+        check_exact(built.layout, built.netlist, built.function);
+    EXPECT_FALSE(report.immune) << name;
+  }
+}
+
+TEST(ExactImmunity, StrayChainsAreLogicallyRedundant) {
+  // In the NAND3 Euler PUN [Vdd A Out B Vdd C Out], every adjacent contact
+  // pair is separated by exactly one gate: strays are single parasitic
+  // devices duplicating intended ones.
+  const auto built = make("NAND3", LayoutStyle::kCompactEuler);
+  const auto report = check_exact(built.layout, built.netlist, built.function);
+  ASSERT_TRUE(report.immune);
+  int pun_single_gate = 0;
+  for (const auto& e : report.effects) {
+    EXPECT_FALSE(e.is_short() && e.a != e.b);
+    if (e.chain.size() == 1 && e.chain[0].type == netlist::FetType::kP) {
+      ++pun_single_gate;
+    }
+  }
+  EXPECT_EQ(pun_single_gate, 3);  // A, B, C strays in the PUN
+}
+
+TEST(TraceTube, StraightTubeAcrossOneGateMakesOneChain) {
+  const auto built = make("INV", LayoutStyle::kCompactEuler);
+  const auto geo = built.layout.geometry();
+  // Horizontal tube through the middle of the PUN band.
+  const auto& band = geo.bands[0];
+  const double y = (band.rect.lo().y + band.rect.hi().y) / 2.0;
+  const double x0 = band.rect.lo().x - 1000.0;
+  const double x1 = band.rect.hi().x + 1000.0;
+  const auto effects = trace_tube(geo, {{x0, y}, {x1, y}});
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].chain.size(), 1u);
+  EXPECT_EQ(effects[0].chain[0].gate_input, 0);
+  EXPECT_EQ(effects[0].chain[0].type, netlist::FetType::kP);
+  const auto nets = std::minmax(effects[0].a, effects[0].b);
+  EXPECT_EQ(nets.first, CellNetlist::kVdd);
+  EXPECT_EQ(nets.second, CellNetlist::kOut);
+}
+
+TEST(TraceTube, TubeOutsideBandsHasNoEffect) {
+  const auto built = make("NAND2", LayoutStyle::kCompactEuler);
+  const auto geo = built.layout.geometry();
+  const auto effects =
+      trace_tube(geo, {{-1e6, -1e6}, {-1e6 + 1000.0, -1e6}});
+  EXPECT_TRUE(effects.empty());
+}
+
+TEST(TraceTube, EtchSlotCutsTheTube) {
+  const auto built = make("NAND2", LayoutStyle::kEtchedIsolatedBranches);
+  const auto geo = built.layout.geometry();
+  const auto& band = geo.bands[0];  // PUN band (has the etch)
+  const double y = (band.rect.lo().y + band.rect.hi().y) / 2.0;
+  const auto effects = trace_tube(
+      geo, {{band.rect.lo().x - 10.0, y}, {band.rect.hi().x + 10.0, y}});
+  // The tube crosses [Vdd A Out // Vdd B Out]: two independent chains, no
+  // effect joining nets across the etch.
+  for (const auto& e : effects) {
+    EXPECT_FALSE(e.is_short() && e.a != e.b)
+        << "etch failed to cut the tube";
+  }
+  EXPECT_EQ(effects.size(), 2u);
+}
+
+TEST(TraceTube, NaiveNand2StraightTubeProducesShort) {
+  const auto built = make("NAND2", LayoutStyle::kNaiveVulnerable);
+  const auto geo = built.layout.geometry();
+  const auto& band = geo.bands[0];
+  const double y = (band.rect.lo().y + band.rect.hi().y) / 2.0;
+  const auto effects = trace_tube(
+      geo, {{band.rect.lo().x - 10.0, y}, {band.rect.hi().x + 10.0, y}});
+  bool found_short = false;
+  for (const auto& e : effects) {
+    if (e.is_short() && e.a != e.b) found_short = true;
+  }
+  EXPECT_TRUE(found_short);
+}
+
+TEST(MonteCarlo, ImmuneLayoutsHaveUnitYield) {
+  for (const char* name : {"NAND2", "NAND3", "AOI21", "AOI31"}) {
+    const auto built = make(name, LayoutStyle::kCompactEuler);
+    const auto result = monte_carlo(built.layout, built.netlist,
+                                    built.function, TubeModel{}, 200, 42);
+    EXPECT_EQ(result.failing_trials, 0) << name;
+    EXPECT_DOUBLE_EQ(result.yield(), 1.0) << name;
+    EXPECT_GT(result.stray_chains, 0) << name
+        << ": sampler never hit the cell";
+  }
+}
+
+TEST(MonteCarlo, VulnerableNand2LosesYield) {
+  const auto built = make("NAND2", LayoutStyle::kNaiveVulnerable);
+  const auto result = monte_carlo(built.layout, built.netlist, built.function,
+                                  TubeModel{}, 400, 42);
+  EXPECT_GT(result.failing_trials, 0);
+  EXPECT_LT(result.yield(), 1.0);
+  EXPECT_GT(result.stray_shorts, 0);
+}
+
+TEST(MonteCarlo, DeterministicUnderSeed) {
+  const auto built = make("NAND2", LayoutStyle::kNaiveVulnerable);
+  const auto a = monte_carlo(built.layout, built.netlist, built.function,
+                             TubeModel{}, 100, 7);
+  const auto b = monte_carlo(built.layout, built.netlist, built.function,
+                             TubeModel{}, 100, 7);
+  EXPECT_EQ(a.failing_trials, b.failing_trials);
+  EXPECT_EQ(a.stray_shorts, b.stray_shorts);
+  EXPECT_EQ(a.stray_chains, b.stray_chains);
+}
+
+TEST(MonteCarlo, WilderMisalignmentStillCannotBreakImmuneLayout) {
+  TubeModel wild;
+  wild.angle_sigma_deg = 30.0;
+  wild.outlier_fraction = 0.25;
+  wild.bend_sigma_deg = 25.0;
+  wild.tubes_per_trial = 60;
+  const auto built = make("AOI22", LayoutStyle::kCompactEuler);
+  const auto result = monte_carlo(built.layout, built.netlist, built.function,
+                                  wild, 150, 99);
+  EXPECT_EQ(result.failing_trials, 0);
+}
+
+TEST(ApplyEffect, ShortAndChainSemantics) {
+  auto cell = netlist::build_static_cell(logic::parse_expr("A"));
+  apply_effect(cell, StrayEffect{CellNetlist::kVdd, CellNetlist::kOut, {}});
+  EXPECT_EQ(cell.shorts().size(), 1u);
+  apply_effect(cell,
+               StrayEffect{CellNetlist::kVdd,
+                           CellNetlist::kOut,
+                           {{0, netlist::FetType::kP}}});
+  EXPECT_EQ(cell.fets().size(), 3u);  // 2 intrinsic + 1 stray
+}
+
+}  // namespace
+}  // namespace cnfet::cnt

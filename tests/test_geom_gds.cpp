@@ -1,0 +1,161 @@
+// Unit tests for geometry primitives and the GDSII writer/reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gds/gds.hpp"
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+
+namespace cnfet {
+namespace {
+
+using geom::Rect;
+using geom::Segment;
+using geom::Vec2;
+
+TEST(Coord, LambdaConversions) {
+  EXPECT_EQ(geom::from_lambda(2.0), 2000);
+  EXPECT_EQ(geom::from_lambda(1.4), 1400);
+  EXPECT_DOUBLE_EQ(geom::to_lambda(3500), 3.5);
+  EXPECT_DOUBLE_EQ(geom::to_nm(2000), 65.0);  // 2 lambda = 65nm gate
+  EXPECT_DOUBLE_EQ(geom::area_to_lambda2(2000 * 3000), 6.0);
+}
+
+TEST(Rect, BasicsAndInvariants) {
+  const Rect r({0, 0}, {4000, 2000});
+  EXPECT_EQ(r.width(), 4000);
+  EXPECT_EQ(r.height(), 2000);
+  EXPECT_EQ(r.area(), 8000000);
+  EXPECT_TRUE(r.contains(Vec2{4000, 2000}));  // closed
+  EXPECT_FALSE(r.contains(Vec2{4001, 0}));
+  EXPECT_THROW(Rect({1, 0}, {0, 0}), util::ContractViolation);
+  EXPECT_EQ(Rect::spanning({5, 5}, {1, 2}), Rect({1, 2}, {5, 5}));
+}
+
+TEST(Rect, IntersectionAndOverlap) {
+  const Rect a({0, 0}, {10, 10});
+  const Rect b({5, 5}, {20, 20});
+  const Rect c({10, 0}, {20, 10});
+  ASSERT_TRUE(a.intersection(b).has_value());
+  EXPECT_EQ(*a.intersection(b), Rect({5, 5}, {10, 10}));
+  EXPECT_TRUE(a.touches(c));    // shared edge
+  EXPECT_FALSE(a.overlaps(c));  // no interior overlap
+  EXPECT_FALSE(a.intersection(Rect({11, 11}, {12, 12})).has_value());
+}
+
+TEST(Rect, ExpandAndTranslate) {
+  const Rect r({5, 5}, {10, 10});
+  EXPECT_EQ(r.expanded(2), Rect({3, 3}, {12, 12}));
+  EXPECT_EQ(r.expanded(-2), Rect({7, 7}, {8, 8}));
+  EXPECT_THROW(r.expanded(-4), util::ContractViolation);
+  EXPECT_EQ(r.translated({1, -1}), Rect({6, 4}, {11, 9}));
+}
+
+TEST(Segment, ClipAgainstRect) {
+  const Rect r({0, 0}, {10, 10});
+  // Diagonal straight through.
+  const Segment s({-5.0, 5.0}, {15.0, 5.0});
+  const auto clip = s.clip(r);
+  ASSERT_TRUE(clip.has_value());
+  EXPECT_DOUBLE_EQ(clip->first, 0.25);
+  EXPECT_DOUBLE_EQ(clip->second, 0.75);
+  // Miss entirely.
+  EXPECT_FALSE(Segment({-5.0, 20.0}, {15.0, 20.0}).clip(r).has_value());
+  // Fully inside.
+  const auto inside = Segment({2.0, 2.0}, {8.0, 8.0}).clip(r);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_DOUBLE_EQ(inside->first, 0.0);
+  EXPECT_DOUBLE_EQ(inside->second, 1.0);
+}
+
+TEST(Segment, CrossingsAreOrdered) {
+  const std::vector<Rect> rects = {
+      Rect({20, 0}, {30, 10}), Rect({0, 0}, {10, 10}), Rect({40, 0}, {50, 10})};
+  const Segment s({-5.0, 5.0}, {60.0, 5.0});
+  const auto xs = geom::crossings(s, rects);
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_EQ(xs[0].index, 1u);
+  EXPECT_EQ(xs[1].index, 0u);
+  EXPECT_EQ(xs[2].index, 2u);
+  EXPECT_LT(xs[0].t_enter, xs[1].t_enter);
+}
+
+TEST(Gds, RoundTripsLibrary) {
+  gds::Library lib;
+  lib.name = "TESTLIB";
+  gds::Structure cell;
+  cell.name = "NAND2";
+  cell.boundaries.push_back(gds::Boundary::rect(2, Rect({0, 0}, {2000, 8000})));
+  cell.boundaries.push_back(
+      gds::Boundary::rect(3, Rect({-100, -50}, {400, 50}), 1));
+  cell.texts.push_back(gds::Text{10, 0, {100, 200}, "A"});
+  gds::Structure top;
+  top.name = "TOP";
+  top.srefs.push_back(gds::Sref{"NAND2", {5000, 6000}});
+  lib.structures = {cell, top};
+
+  std::stringstream buf;
+  gds::write(lib, buf);
+  const auto back = gds::read(buf);
+
+  EXPECT_EQ(back.name, "TESTLIB");
+  ASSERT_EQ(back.structures.size(), 2u);
+  const auto* c = back.find("NAND2");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->boundaries.size(), 2u);
+  EXPECT_EQ(c->boundaries[0].layer, 2);
+  ASSERT_EQ(c->boundaries[0].points.size(), 4u);
+  EXPECT_EQ(c->boundaries[0].points[2], (Vec2{2000, 8000}));
+  EXPECT_EQ(c->boundaries[1].datatype, 1);
+  ASSERT_EQ(c->texts.size(), 1u);
+  EXPECT_EQ(c->texts[0].value, "A");
+  const auto* t = back.find("TOP");
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->srefs.size(), 1u);
+  EXPECT_EQ(t->srefs[0].structure_name, "NAND2");
+  EXPECT_EQ(t->srefs[0].origin, (Vec2{5000, 6000}));
+}
+
+TEST(Gds, UnitsSurviveRealEncoding) {
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "X";
+  s.boundaries.push_back(gds::Boundary::rect(1, Rect({0, 0}, {10, 10})));
+  lib.structures = {s};
+  std::stringstream buf;
+  gds::write(lib, buf);
+  const auto back = gds::read(buf);
+  EXPECT_NEAR(back.dbu_meters, lib.dbu_meters, lib.dbu_meters * 1e-12);
+  EXPECT_NEAR(back.user_unit_dbu, lib.user_unit_dbu, 1e-15);
+}
+
+TEST(Gds, RejectsTruncatedStream) {
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "X";
+  s.boundaries.push_back(gds::Boundary::rect(1, Rect({0, 0}, {10, 10})));
+  lib.structures = {s};
+  std::stringstream buf;
+  gds::write(lib, buf);
+  std::string data = buf.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data);
+  EXPECT_THROW((void)gds::read(cut), util::Error);
+}
+
+TEST(Gds, BoundaryNeedsThreePoints) {
+  gds::Library lib;
+  gds::Structure s;
+  s.name = "X";
+  gds::Boundary bad;
+  bad.layer = 1;
+  bad.points = {{0, 0}, {1, 1}};
+  s.boundaries.push_back(bad);
+  lib.structures = {s};
+  std::stringstream buf;
+  EXPECT_THROW(gds::write(lib, buf), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cnfet

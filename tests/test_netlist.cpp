@@ -1,0 +1,131 @@
+// Unit tests for transistor netlists and the switch-level evaluator.
+#include <gtest/gtest.h>
+
+#include "logic/expr.hpp"
+#include "netlist/cell_netlist.hpp"
+
+namespace cnfet::netlist {
+namespace {
+
+using logic::parse_expr;
+using logic::TruthTable;
+
+TruthTable inverted(const logic::Expr& pdn, int n) { return ~pdn.truth(n); }
+
+TEST(SwitchLevel, InverterEvaluates) {
+  const auto cell = build_static_cell(parse_expr("A"));
+  EXPECT_EQ(cell.evaluate(0), Level::kHigh);
+  EXPECT_EQ(cell.evaluate(1), Level::kLow);
+  EXPECT_FALSE(cell.has_supply_short(0));
+  EXPECT_FALSE(cell.has_supply_short(1));
+}
+
+TEST(SwitchLevel, CellFamilyMatchesComplementOfPdn) {
+  for (const char* pdn : {"A", "A*B", "A+B", "A*B*C", "A+B+C", "ABC+D",
+                          "(A+B)*C", "A*B+C", "(A+B)*(C+D)", "A*B+C*D",
+                          "ABCD", "(A+B+C)*D"}) {
+    const auto expr = parse_expr(pdn);
+    const auto cell = build_static_cell(expr);
+    const auto report = cell.check_function(inverted(expr, expr.num_vars()));
+    EXPECT_TRUE(report.ok) << pdn << ": " << report.to_string();
+  }
+}
+
+TEST(SwitchLevel, SeriesUpsizingFollowsStackDepth) {
+  // NAND3 pull-down: three series n-FETs, each 3x the base width; pull-up
+  // p-FETs stay at base width.
+  SizingRule sizing;
+  sizing.wn_base = 4.0;
+  sizing.wp_base = 4.0;
+  const auto cell = build_static_cell(parse_expr("A*B*C"), sizing);
+  for (const auto& f : cell.plane_fets(FetType::kN)) {
+    EXPECT_DOUBLE_EQ(f.width_lambda, 12.0);
+  }
+  for (const auto& f : cell.plane_fets(FetType::kP)) {
+    EXPECT_DOUBLE_EQ(f.width_lambda, 4.0);
+  }
+}
+
+TEST(SwitchLevel, Aoi31MixedStackSizing) {
+  // PDN of AOI31 = ABC + D: the ABC chain is 3 deep, D is 1 deep.
+  const auto cell = build_static_cell(parse_expr("ABC+D"));
+  int deep = 0, shallow = 0;
+  for (const auto& f : cell.plane_fets(FetType::kN)) {
+    if (f.width_lambda == 12.0) ++deep;
+    if (f.width_lambda == 4.0) ++shallow;
+  }
+  EXPECT_EQ(deep, 3);
+  EXPECT_EQ(shallow, 1);
+  // PUN of AOI31 = (A+B+C)*D: everything is in a 2-deep series path.
+  for (const auto& f : cell.plane_fets(FetType::kP)) {
+    EXPECT_DOUBLE_EQ(f.width_lambda, 8.0);
+  }
+}
+
+TEST(SwitchLevel, StrayShortCreatesSupplyFight) {
+  // Shorting VDD to OUT in a NAND2 makes input row 3 (both high) a fight.
+  auto cell = build_static_cell(parse_expr("A*B"));
+  cell.add_short({CellNetlist::kVdd, CellNetlist::kOut});
+  EXPECT_EQ(cell.evaluate(3), Level::kFight);
+  EXPECT_TRUE(cell.has_supply_short(3));
+  // Rows where the PDN is off are still (weakly) correct.
+  EXPECT_EQ(cell.evaluate(0), Level::kHigh);
+  const auto report = cell.check_function(~parse_expr("A*B").truth(2));
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.failing_row, 3u);
+  EXPECT_TRUE(report.supply_short);
+}
+
+TEST(SwitchLevel, StraySeriesChainThatIsRedundantIsHarmless) {
+  // A stray chain VDD -pA- x -pB- OUT duplicates the intended NAND2 pull-up
+  // path through redundant devices; function must be unchanged.
+  auto cell = build_static_cell(parse_expr("A*B"));
+  const auto x = cell.add_net("stray0");
+  cell.add_fet({FetType::kP, 0, CellNetlist::kVdd, x, 4.0});
+  cell.add_fet({FetType::kP, 1, x, CellNetlist::kOut, 4.0});
+  EXPECT_TRUE(cell.check_function(~parse_expr("A*B").truth(2)).ok);
+}
+
+TEST(SwitchLevel, MixedDopingStrayChainNeverConducts) {
+  // A tube crossing from the p+ region into the n+ region picks up a
+  // p-channel and an n-channel in series under the same gate: pA AND nA is
+  // never on, so even a VDD..GND stray chain is harmless.
+  auto cell = build_static_cell(parse_expr("A"));
+  const auto x = cell.add_net("stray0");
+  cell.add_fet({FetType::kP, 0, CellNetlist::kVdd, x, 4.0});
+  cell.add_fet({FetType::kN, 0, x, CellNetlist::kGnd, 4.0});
+  EXPECT_TRUE(cell.check_function(~parse_expr("A").truth(1)).ok);
+  EXPECT_FALSE(cell.has_supply_short(0));
+  EXPECT_FALSE(cell.has_supply_short(1));
+}
+
+TEST(SwitchLevel, FloatDetection) {
+  // A pull-down-only "cell" floats when its network is off.
+  CellNetlist cell(1);
+  cell.add_fet({FetType::kN, 0, CellNetlist::kOut, CellNetlist::kGnd, 4.0});
+  EXPECT_EQ(cell.evaluate(0), Level::kFloat);
+  EXPECT_EQ(cell.evaluate(1), Level::kLow);
+}
+
+TEST(SwitchLevel, InternalNetNamesAreStable) {
+  const auto cell = build_static_cell(parse_expr("A*B*C"));
+  // GND, VDD, OUT plus two internal nets in the series pull-down chain
+  // (the parallel pull-up needs none).
+  EXPECT_EQ(cell.num_nets(), 3 + 2);
+  EXPECT_EQ(cell.net_name(0), "GND");
+  EXPECT_EQ(cell.net_name(1), "VDD");
+  EXPECT_EQ(cell.net_name(2), "OUT");
+}
+
+TEST(SwitchLevel, RejectsMalformedFets) {
+  CellNetlist cell(1);
+  EXPECT_THROW(cell.add_fet({FetType::kN, 5, 0, 1, 4.0}),
+               util::ContractViolation);
+  EXPECT_THROW(cell.add_fet({FetType::kN, 0, 0, 99, 4.0}),
+               util::ContractViolation);
+  EXPECT_THROW(cell.add_fet({FetType::kN, 0, 0, 1, -1.0}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace cnfet::netlist

@@ -1,0 +1,114 @@
+// Tests for util (rng, tables, errors) and the core DesignKit facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/design_kit.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cnfet {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  util::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInRange) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  util::Xoshiro256 rng(11);
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 5, n / 50);  // within 10% of uniform
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  util::Xoshiro256 rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  util::TextTable t({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("a   bbbb"), std::string::npos);
+  EXPECT_NE(s.find("xx  y"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), util::ContractViolation);
+}
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(util::fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(util::fmt_percent(0.16667, 2), "16.67%");
+  EXPECT_EQ(util::fmt_ratio(4.2, 1), "4.2x");
+  EXPECT_EQ(util::fmt_si(3.2e-12, "s"), "3.20ps");
+  EXPECT_EQ(util::fmt_si(1.55e-15, "J"), "1.55fJ");
+  EXPECT_EQ(util::fmt_si(0.0, "F"), "0F");
+}
+
+TEST(DesignKit, AuditSummaryIsConsistent) {
+  const core::DesignKit kit;
+  const auto euler =
+      kit.audit("NAND3", layout::LayoutStyle::kCompactEuler, 4.0);
+  const auto etched =
+      kit.audit("NAND3", layout::LayoutStyle::kEtchedIsolatedBranches, 4.0);
+  EXPECT_TRUE(euler.immune);
+  EXPECT_TRUE(etched.immune);
+  EXPECT_TRUE(euler.drc_clean);
+  EXPECT_TRUE(etched.drc_clean);  // audited with vertical gating allowed
+  EXPECT_EQ(euler.etch_slots, 0);
+  EXPECT_EQ(etched.etch_slots, 2);
+  EXPECT_EQ(euler.via_on_gate, 0);
+  EXPECT_GT(etched.via_on_gate, 0);
+  EXPECT_LT(euler.core_area_lambda2, etched.core_area_lambda2);
+}
+
+TEST(DesignKit, Table1SweepCoversFamilyTimesWidthsTimesStyles) {
+  const core::DesignKit kit;
+  const auto sweep = kit.table1_sweep();
+  EXPECT_EQ(sweep.size(), 9u * 4u * 2u);
+  for (const auto& s : sweep) {
+    EXPECT_TRUE(s.immune) << s.cell;
+    EXPECT_GT(s.core_area_lambda2, 0.0);
+  }
+}
+
+TEST(DesignKit, MonteCarloFacade) {
+  const core::DesignKit kit;
+  const auto immune =
+      kit.monte_carlo("NAND2", layout::LayoutStyle::kCompactEuler, 50);
+  EXPECT_DOUBLE_EQ(immune.yield(), 1.0);
+  const auto naive =
+      kit.monte_carlo("NAND2", layout::LayoutStyle::kNaiveVulnerable, 200);
+  EXPECT_LT(naive.yield(), 1.0);
+}
+
+TEST(DesignKit, CmosKitUsesWideRules) {
+  const core::DesignKit cmos(layout::Tech::kCmos65);
+  const auto inv = cmos.cell("INV");
+  EXPECT_DOUBLE_EQ(inv.layout.core_height_lambda(), 19.6);
+}
+
+}  // namespace
+}  // namespace cnfet
