@@ -7,9 +7,9 @@
 //      margin breaks immunity even for Euler layouts.
 #include <cstdio>
 
+#include "api/flow.hpp"
 #include "cnt/analyzer.hpp"
 #include "core/design_kit.hpp"
-#include "flow/placer.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -34,6 +34,20 @@ flow::GateNetlist inverter_mix(const liberty::Library& lib,
   return nl;
 }
 
+/// Runs a netlist through the pipeline to Placed under one scheme. The
+/// whole Flow is returned because the placement's instances point into the
+/// flow-owned netlist.
+api::Flow place_mix(const api::LibraryHandle& library,
+                    const flow::GateNetlist& netlist,
+                    layout::CellScheme scheme) {
+  api::FlowOptions options;
+  options.library = library;
+  options.place.scheme = scheme;
+  auto flow = api::Flow::from_netlist(netlist, options);
+  (void)flow.value().run(api::Stage::kPlaced).value();
+  return std::move(flow).value();
+}
+
 }  // namespace
 
 int main() {
@@ -42,7 +56,9 @@ int main() {
 
   // (a) Height standardization loss.
   std::printf("(a) scheme-1 standardization loss vs scheme-2 packing\n");
-  const auto& lib = kit.library();
+  const auto lib_handle =
+      api::LibraryCache::global().get(layout::Tech::kCnfet65).value();
+  const auto& lib = *lib_handle;
   util::TextTable t({"cell mix", "scheme1 area", "scheme2 area",
                      "scheme2 gain", "scheme1 util", "scheme2 util"});
   const std::vector<std::pair<const char*, std::vector<double>>> mixes = {
@@ -53,12 +69,10 @@ int main() {
   };
   for (const auto& [name, drives] : mixes) {
     const auto nl = inverter_mix(lib, drives, 6);
-    flow::PlaceOptions s1;
-    s1.scheme = layout::CellScheme::kScheme1;
-    flow::PlaceOptions s2;
-    s2.scheme = layout::CellScheme::kScheme2;
-    const auto p1 = flow::place(nl, s1);
-    const auto p2 = flow::place(nl, s2);
+    const auto f1 = place_mix(lib_handle, nl, layout::CellScheme::kScheme1);
+    const auto f2 = place_mix(lib_handle, nl, layout::CellScheme::kScheme2);
+    const auto& p1 = f1.placed()->placement;
+    const auto& p2 = f2.placed()->placement;
     t.add_row({name, util::fmt_fixed(p1.placed_area_lambda2, 0),
                util::fmt_fixed(p2.placed_area_lambda2, 0),
                util::fmt_ratio(p1.placed_area_lambda2 /

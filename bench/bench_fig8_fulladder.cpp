@@ -1,13 +1,14 @@
 // E5 — Figure 8 / case study 2: the 9-NAND full adder.
 //
-// Characterizes the CNFET and CMOS libraries, sizes the adder at its
-// EDP-optimal point (drive search), times it with STA, and places it three
-// ways: CMOS rows, CNFET scheme 1 (standardized heights) and CNFET scheme 2
-// (natural heights, shelf-packed) — reporting the paper's delay, energy and
-// area-gain numbers.
+// Characterizes the CNFET and CMOS libraries (shared through
+// api::LibraryCache), sizes the adder at its EDP-optimal point by running
+// one api::Flow per candidate sizing to the Timed stage, and places it
+// three ways: CMOS rows, CNFET scheme 1 (standardized heights) and CNFET
+// scheme 2 (natural heights, shelf-packed) — reporting the paper's delay,
+// energy and area-gain numbers.
 #include <cstdio>
 
-#include "core/design_kit.hpp"
+#include "api/flow.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -20,7 +21,19 @@ struct SizedAdder {
   double edp = 0.0;
 };
 
-SizedAdder size_for_edp(const liberty::Library& lib) {
+/// Times one candidate sizing through the pipeline (Mapped -> Timed).
+sta::StaResult time_adder(const api::LibraryHandle& library,
+                          const flow::FullAdderOptions& options) {
+  api::FlowOptions fopt;
+  fopt.library = library;
+  auto flow = api::Flow::from_netlist(flow::build_full_adder(*library, options),
+                                      fopt);
+  auto& f = flow.value();
+  (void)f.run(api::Stage::kTimed).value();
+  return f.timed()->timing;
+}
+
+SizedAdder size_for_edp(const api::LibraryHandle& library) {
   SizedAdder best;
   bool first = true;
   for (const double nand_drive : {1.0, 2.0, 4.0}) {
@@ -29,8 +42,7 @@ SizedAdder size_for_edp(const liberty::Library& lib) {
       options.nand_drive = nand_drive;
       options.sum_buffer_drive = buf;
       options.carry_buffer_drive = buf;
-      const auto adder = flow::build_full_adder(lib, options);
-      const auto timing = sta::analyze(adder);
+      const auto timing = time_adder(library, options);
       const double edp = timing.worst_arrival * timing.energy_per_cycle;
       if (first || edp < best.edp) {
         best = SizedAdder{options, timing, edp};
@@ -41,17 +53,32 @@ SizedAdder size_for_edp(const liberty::Library& lib) {
   return best;
 }
 
+/// Places the paper-sized adder under one scheme (Mapped -> Placed). The
+/// whole Flow is returned because the placement's instances point into the
+/// flow-owned netlist.
+api::Flow place_adder(const api::LibraryHandle& library,
+                      const flow::FullAdderOptions& sizing,
+                      layout::CellScheme scheme) {
+  api::FlowOptions fopt;
+  fopt.library = library;
+  fopt.place.scheme = scheme;
+  auto flow = api::Flow::from_netlist(flow::build_full_adder(*library, sizing),
+                                      fopt);
+  (void)flow.value().run(api::Stage::kPlaced).value();
+  return std::move(flow).value();
+}
+
 }  // namespace
 
 int main() {
   std::printf("== E5 / Figure 8 + case study 2: full adder ==\n\n");
 
   std::printf("Characterizing CNFET library (transient sims)...\n");
-  const core::DesignKit cnfet_kit(layout::Tech::kCnfet65);
-  const auto& cnfet_lib = cnfet_kit.library();
+  const auto cnfet_lib =
+      api::LibraryCache::global().get(layout::Tech::kCnfet65).value();
   std::printf("Characterizing CMOS 65nm library...\n\n");
-  const core::DesignKit cmos_kit(layout::Tech::kCmos65);
-  const auto& cmos_lib = cmos_kit.library();
+  const auto cmos_lib =
+      api::LibraryCache::global().get(layout::Tech::kCmos65).value();
 
   const auto cnfet_best = size_for_edp(cnfet_lib);
   const auto cmos_best = size_for_edp(cmos_lib);
@@ -89,17 +116,16 @@ int main() {
   paper_sizing.nand_drive = 2.0;
   paper_sizing.sum_buffer_drive = 9.0;
   paper_sizing.carry_buffer_drive = 7.0;
-  const auto cnfet_adder = flow::build_full_adder(cnfet_lib, paper_sizing);
-  const auto cmos_adder = flow::build_full_adder(cmos_lib, paper_sizing);
 
-  flow::PlaceOptions s1;
-  s1.scheme = layout::CellScheme::kScheme1;
-  flow::PlaceOptions s2;
-  s2.scheme = layout::CellScheme::kScheme2;
-
-  const auto p_cmos = flow::place(cmos_adder, s1);
-  const auto p_s1 = flow::place(cnfet_adder, s1);
-  const auto p_s2 = flow::place(cnfet_adder, s2);
+  const auto f_cmos =
+      place_adder(cmos_lib, paper_sizing, layout::CellScheme::kScheme1);
+  const auto f_s1 =
+      place_adder(cnfet_lib, paper_sizing, layout::CellScheme::kScheme1);
+  const auto f_s2 =
+      place_adder(cnfet_lib, paper_sizing, layout::CellScheme::kScheme2);
+  const auto& p_cmos = f_cmos.placed()->placement;
+  const auto& p_s1 = f_s1.placed()->placement;
+  const auto& p_s2 = f_s2.placed()->placement;
 
   util::TextTable pt({"placement", "area (l^2)", "utilization", "HPWL (l)",
                       "area gain vs CMOS", "paper"});

@@ -1,17 +1,25 @@
 // E8 — google-benchmark microbenchmarks of the kit's algorithms: Euler
 // layout synthesis, exact immunity proof, Monte Carlo throughput, transient
-// simulation, technology mapping, and placement scaling.
+// simulation, and the api::Flow pipeline stages (mapping, placement,
+// export) against a pre-characterized shared library.
 #include <benchmark/benchmark.h>
 
+#include "api/flow.hpp"
 #include "cnt/analyzer.hpp"
-#include "flow/mapper.hpp"
-#include "flow/placer.hpp"
 #include "layout/cells.hpp"
 #include "sim/fo4.hpp"
 
 namespace {
 
 using namespace cnfet;
+
+/// One characterization for all pipeline benches (seconds of transient
+/// sims; must not run inside a timing loop).
+api::LibraryHandle shared_library() {
+  static const api::LibraryHandle lib =
+      api::LibraryCache::global().get(layout::Tech::kCnfet65).value();
+  return lib;
+}
 
 void BM_EulerPlanning(benchmark::State& state) {
   const auto& specs = layout::standard_cell_family();
@@ -71,6 +79,58 @@ void BM_SwitchLevelEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SwitchLevelEvaluate);
+
+void BM_FlowMap(benchmark::State& state) {
+  api::FlowOptions options;
+  options.library = shared_library();
+  const std::vector<std::string> inputs = {"A", "B", "C", "D"};
+  std::vector<flow::OutputSpec> outputs;
+  outputs.push_back({"f", logic::parse_expr("A*B+A*C+B*C"), false});
+  outputs.push_back({"g", logic::parse_expr("(A+B)*(C+D)"), true});
+  for (auto _ : state) {
+    auto flow = api::Flow::from_expressions(outputs, inputs, options);
+    benchmark::DoNotOptimize(flow.value().map());
+  }
+}
+BENCHMARK(BM_FlowMap);
+
+void BM_FlowPipelineToGds(benchmark::State& state) {
+  api::FlowOptions options;
+  options.library = shared_library();
+  for (auto _ : state) {
+    auto flow = api::Flow::from_cell("AOI22", options);
+    benchmark::DoNotOptimize(flow.value().run());
+  }
+}
+BENCHMARK(BM_FlowPipelineToGds)->Unit(benchmark::kMillisecond);
+
+void BM_FlowPlaceScaling(benchmark::State& state) {
+  // Pipeline cost (adopt + STA + placement) vs design size: an N-gate
+  // NAND2 chain adopted at the Mapped stage.
+  const auto library = shared_library();
+  flow::GateNetlist chain;
+  const int a = chain.add_net("A");
+  const int b = chain.add_net("B");
+  chain.mark_input(a);
+  chain.mark_input(b);
+  const auto& nand2 = library->find("NAND2_1X");
+  int prev = b;
+  for (int i = 0; i < state.range(0); ++i) {
+    const int out = chain.add_net("n" + std::to_string(i));
+    chain.add_gate(flow::Gate{&nand2, {a, prev}, out,
+                              "g" + std::to_string(i)});
+    prev = out;
+  }
+  chain.mark_output(prev);
+  api::FlowOptions options;
+  options.library = library;
+  for (auto _ : state) {
+    auto flow = api::Flow::from_netlist(chain, options);
+    benchmark::DoNotOptimize(flow.value().run(api::Stage::kPlaced));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlowPlaceScaling)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 
 }  // namespace
 

@@ -1,22 +1,26 @@
-// Case study 2 as an application: build the 9-NAND full adder on the CNFET
-// library, verify its function exhaustively, time it, place it with both
-// schemes and export the scheme-2 layout to GDS.
+// Case study 2 as an application: the 9-NAND full adder adopted into
+// api::Flow at the Mapped stage, then timed, placed under both schemes,
+// signed off and exported — no hand-wired stage plumbing.
 #include <cstdio>
 
-#include "core/design_kit.hpp"
+#include "api/batch.hpp"
+#include "api/flow.hpp"
 
 int main() {
   using namespace cnfet;
 
   std::printf("characterizing CNFET library...\n");
-  const core::DesignKit kit;
-  const auto& lib = kit.library();
+  auto library = api::LibraryCache::global().get(layout::Tech::kCnfet65);
+  if (!library.ok()) {
+    std::printf("%s\n", library.error().to_string().c_str());
+    return 1;
+  }
 
   flow::FullAdderOptions sizing;
   sizing.nand_drive = 2.0;
   sizing.sum_buffer_drive = 9.0;
   sizing.carry_buffer_drive = 7.0;
-  const auto adder = flow::build_full_adder(lib, sizing);
+  const auto adder = flow::build_full_adder(*library.value(), sizing);
 
   // Functional check: SUM = A^B^CIN, CARRY = MAJ(A,B,CIN). With the
   // polarity-preserving buffers, the outputs carry the true functions.
@@ -32,24 +36,45 @@ int main() {
   }
   std::printf("full adder truth table: %s\n", ok ? "PASS" : "FAIL");
 
-  const auto timing = sta::analyze(adder);
-  std::printf("delay %.2fps, energy/cycle %.2ffJ, critical path:",
-              timing.worst_arrival * 1e12, timing.energy_per_cycle * 1e15);
-  for (const auto& g : timing.critical_path) std::printf(" %s", g.c_str());
-  std::printf("\n");
-
+  // One flow per placement scheme, both adopting the same netlist.
   for (const auto scheme :
        {layout::CellScheme::kScheme1, layout::CellScheme::kScheme2}) {
-    flow::PlaceOptions popt;
-    popt.scheme = scheme;
-    const auto placement = flow::place(adder, popt);
-    std::printf("%s: area %.0f lambda^2, utilization %.1f%%\n",
-                layout::to_string(scheme), placement.placed_area_lambda2,
-                100.0 * placement.utilization());
+    api::FlowOptions options;
+    options.library = library.value();
+    options.place.scheme = scheme;
+    options.top_name = "FULL_ADDER";
+    auto flow_result = api::Flow::from_netlist(adder, options);
+    if (!flow_result.ok()) {
+      std::printf("%s\n", flow_result.error().to_string().c_str());
+      return 1;
+    }
+    auto& flow = flow_result.value();
+    if (!flow.run().ok()) {
+      std::printf("%s", flow.diagnostics().to_string().c_str());
+      return 1;
+    }
+    const auto m = flow.metrics();
+    if (scheme == layout::CellScheme::kScheme1) {
+      std::printf("delay %.2fps, energy/cycle %.2ffJ, critical path:",
+                  m.worst_arrival_s * 1e12, m.energy_per_cycle_j * 1e15);
+      for (const auto& g : flow.timed()->timing.critical_path) {
+        std::printf(" %s", g.c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("%s: area %.0f lambda^2, utilization %.1f%%, "
+                "%d DRC violations, immune: %s\n",
+                layout::to_string(scheme), m.placed_area_lambda2,
+                100.0 * m.utilization, m.drc_violations,
+                m.all_immune ? "yes" : "NO");
     if (scheme == layout::CellScheme::kScheme2) {
-      gds::write_file(flow::export_gds(placement, "FULL_ADDER"),
-                      "full_adder_scheme2.gds");
-      std::printf("wrote full_adder_scheme2.gds\n");
+      const auto path = flow.write_gds("full_adder_scheme2.gds");
+      if (!path.ok()) {
+        std::printf("GDS write failed: %s\n",
+                    path.error().to_string().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.value().c_str());
     }
   }
   return ok ? 0 : 1;

@@ -1,19 +1,13 @@
-// The paper's Section IV flow end-to-end: Boolean logic in, GDSII out.
-//
-// Synthesizes a 2:1 multiplexer and a majority gate onto the characterized
-// CNFET library (AIG construction, phase-aware NAND/NOR/INV covering),
-// verifies the mapping exhaustively, times it with STA, places it with
-// scheme 2, and writes the placed design to GDS.
+// The paper's Section IV flow end-to-end: Boolean logic in, GDSII out —
+// stepped stage by stage through api::Flow so each typed artifact
+// (mapping, timing, placement, signoff, GDS) can be inspected as it is
+// produced.
 #include <cstdio>
 
-#include "core/design_kit.hpp"
+#include "api/flow.hpp"
 
 int main() {
   using namespace cnfet;
-
-  std::printf("characterizing CNFET library...\n");
-  const core::DesignKit kit;
-  const auto& lib = kit.library();
 
   // Three outputs over shared inputs: a majority gate, an OR-AND, and an
   // inverted OR (the mapper handles both phases of any AIG node).
@@ -23,32 +17,61 @@ int main() {
   outputs.push_back({"and_or", logic::parse_expr("(A+B)*C"), false});
   outputs.push_back({"nor3", logic::parse_expr("A+B+C"), true});
 
-  const auto mapped = flow::map_expressions(outputs, inputs, lib);
-  std::printf("mapped: %d NAND2, %d NOR2, %d INV (%d gates)\n",
-              mapped.nand_count, mapped.nor_count, mapped.inv_count,
-              mapped.total_gates());
+  api::FlowOptions options;
+  options.place.scheme = layout::CellScheme::kScheme2;
+  options.top_name = "LOGIC_TOP";
 
-  const bool ok = flow::verify_mapping(mapped, outputs, 3);
-  std::printf("exhaustive verification: %s\n", ok ? "PASS" : "FAIL");
+  std::printf("characterizing CNFET library...\n");
+  auto flow_result = api::Flow::from_expressions(outputs, inputs, options);
+  if (!flow_result.ok()) {
+    std::printf("%s\n", flow_result.error().to_string().c_str());
+    return 1;
+  }
+  auto& flow = flow_result.value();
 
-  const auto timing = sta::analyze(mapped.netlist);
+  // Step the stages one at a time, reading each artifact as it lands.
+  if (!flow.map().ok()) {
+    std::printf("%s", flow.diagnostics().to_string().c_str());
+    return 1;
+  }
+  const auto* mapped = flow.mapped();
+  std::printf("mapped: %d NAND2, %d NOR2, %d INV (%d gates), verified: %s\n",
+              mapped->map.nand_count, mapped->map.nor_count,
+              mapped->map.inv_count, mapped->map.total_gates(),
+              mapped->verified ? "PASS" : "SKIPPED");
+
+  if (!flow.time().ok()) return 1;
+  const auto* timed = flow.timed();
   std::printf("STA: worst arrival %.2fps, energy/cycle %.2ffJ\n",
-              timing.worst_arrival * 1e12, timing.energy_per_cycle * 1e15);
+              timed->timing.worst_arrival * 1e12,
+              timed->timing.energy_per_cycle * 1e15);
   std::printf("critical path:");
-  for (const auto& g : timing.critical_path) std::printf(" %s", g.c_str());
+  for (const auto& g : timed->timing.critical_path) {
+    std::printf(" %s", g.c_str());
+  }
   std::printf("\n");
 
-  flow::PlaceOptions popt;
-  popt.scheme = layout::CellScheme::kScheme2;
-  const auto placement = flow::place(mapped.netlist, popt);
+  if (!flow.place().ok()) return 1;
+  const auto* placed = flow.placed();
   std::printf("scheme-2 placement: %.0f lambda^2, utilization %.1f%%, "
               "HPWL %.0f lambda\n",
-              placement.placed_area_lambda2,
-              100.0 * placement.utilization(), placement.hpwl_lambda);
+              placed->placement.placed_area_lambda2,
+              100.0 * placed->placement.utilization(),
+              placed->placement.hpwl_lambda);
 
-  const auto gds_lib = flow::export_gds(placement, "LOGIC_TOP");
-  gds::write_file(gds_lib, "logic_top.gds");
+  if (!flow.sign_off().ok()) return 1;
+  const auto* signoff = flow.signed_off();
+  std::printf("signoff: %zu distinct cells, %d DRC violations, immune: %s\n",
+              signoff->cells.size(), signoff->total_drc_violations,
+              signoff->all_immune ? "yes" : "NO");
+
+  if (!flow.export_design().ok()) return 1;
+  const auto written = flow.write_gds("logic_top.gds");
+  if (!written.ok()) {
+    std::printf("%s\n", written.error().to_string().c_str());
+    return 1;
+  }
   std::printf("wrote logic_top.gds (%zu structures)\n",
-              gds_lib.structures.size());
-  return ok ? 0 : 1;
+              flow.exported()->gds.structures.size());
+  return flow.mapped()->verified ? 0 : 1;
 }

@@ -20,9 +20,7 @@ int main() {
       model.angle_sigma_deg = sigma;
       model.bend_sigma_deg = sigma / 2;
       auto run = [&](layout::LayoutStyle style) {
-        const auto built = kit.cell(name, style);
-        return cnt::monte_carlo(built.layout, built.netlist, built.function,
-                                model, 500, 7);
+        return kit.monte_carlo(name, style, 500, 7, model);
       };
       const auto naive = run(layout::LayoutStyle::kNaiveVulnerable);
       const auto euler = run(layout::LayoutStyle::kCompactEuler);

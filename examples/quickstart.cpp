@@ -1,27 +1,51 @@
-// Quickstart: build a compact imperfection-immune CNFET NAND3, prove its
-// immunity, run DRC, and export it to GDSII.
+// Quickstart: compile an immune CNFET NAND3 from its Boolean function to
+// signed-off GDSII with one api::Flow, then peek at the cell-level detail
+// (strip plan, immunity proof, ASCII art) through the DesignKit facade.
 //
 //   $ ./example_quickstart
-//
-// This walks the three core objects of the kit: BuiltCell (netlist +
-// Euler-trail plane plan + assembled layout), the exact immunity checker,
-// and the GDS writer.
 #include <cstdio>
 
-#include "cnt/analyzer.hpp"
+#include "api/flow.hpp"
 #include "core/design_kit.hpp"
-#include "drc/drc.hpp"
-#include "gds/gds.hpp"
 #include "layout/strip.hpp"
 
 int main() {
   using namespace cnfet;
 
-  // 1. Build the cell. The plane plan is the paper's Figure 3(b): one
-  //    diffusion strip per plane ordered by a common-gate-order Euler trail.
+  // 1. The whole logic->GDSII pipeline is one typed object. from_cell
+  //    compiles the library cell's function; run() advances through
+  //    Mapped -> Timed -> Placed -> SignedOff -> Exported. Nothing throws:
+  //    failures come back as structured diagnostics.
+  auto flow_result = api::Flow::from_cell("NAND3");
+  if (!flow_result.ok()) {
+    std::printf("flow creation failed: %s\n",
+                flow_result.error().to_string().c_str());
+    return 1;
+  }
+  auto& flow = flow_result.value();
+  const auto reached = flow.run();
+  std::printf("pipeline log:\n%s", flow.diagnostics().to_string().c_str());
+  if (!reached.ok()) return 1;
+
+  const auto metrics = flow.metrics();
+  std::printf("\nstage %s: %d gates, delay %.2fps, area %.0f lambda^2, "
+              "%d DRC violations, immune: %s\n",
+              api::to_string(metrics.stage), metrics.gates,
+              metrics.worst_arrival_s * 1e12, metrics.placed_area_lambda2,
+              metrics.drc_violations, metrics.all_immune ? "yes" : "NO");
+
+  if (const auto path = flow.write_gds("nand3_immune.gds"); path.ok()) {
+    std::printf("wrote %s\n\n", path.value().c_str());
+  } else {
+    std::printf("GDS write failed: %s\n", path.error().to_string().c_str());
+    return 1;
+  }
+
+  // 2. Cell-level detail through the DesignKit shim: the plane plan is the
+  //    paper's Figure 3(b) — one diffusion strip per plane ordered by a
+  //    common-gate-order Euler trail.
   const core::DesignKit kit;
   const auto nand3 = kit.cell("NAND3");
-
   std::printf("NAND3 pull-up strip : %s\n",
               layout::to_string(nand3.plan.pun, nand3.netlist).c_str());
   std::printf("NAND3 pull-down strip: %s\n",
@@ -30,22 +54,6 @@ int main() {
               "contacts: %d\n\n",
               nand3.layout.core_area_lambda2(),
               nand3.layout.etch_slot_count(), nand3.plan.redundant_contacts);
-
-  // 2. Prove 100% immunity to mispositioned CNTs (straight-tube proof).
-  const auto proof =
-      cnt::check_exact(nand3.layout, nand3.netlist, nand3.function);
-  std::printf("immunity proof: %s\n",
-              proof.to_string(nand3.netlist).c_str());
-
-  // 3. Sign off against the 65nm-derived rule deck.
-  const auto drc_report = drc::check(nand3.layout);
-  std::printf("DRC: %s\n\n", drc_report.to_string().c_str());
-
-  // 4. Render and export.
   std::printf("%s\n", nand3.layout.ascii().c_str());
-  gds::Library lib;
-  lib.structures.push_back(nand3.layout.to_gds());
-  gds::write_file(lib, "nand3_immune.gds");
-  std::printf("wrote nand3_immune.gds\n");
   return 0;
 }

@@ -1,0 +1,69 @@
+// Batch driver over api::Flow: many compile jobs, one characterized
+// library per technology (via LibraryCache), independent failure domains,
+// and an aggregated FlowReport — the paper's Table-1 / Figure-8 style
+// numbers as data instead of printf.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/flow.hpp"
+
+namespace cnfet::api {
+
+/// One unit of batch work. Exactly one source must be set: a standard-cell
+/// name (`cell`) or an expression specification (`outputs` + `inputs`).
+struct FlowJob {
+  std::string name;
+  /// Standard-family cell to compile (takes precedence when non-empty).
+  std::string cell;
+  std::vector<flow::OutputSpec> outputs;
+  std::vector<std::string> inputs;
+  FlowOptions options;
+  /// How far to advance the pipeline.
+  Stage target = Stage::kExported;
+};
+
+/// Per-job outcome: reached stage, metrics snapshot and the full
+/// diagnostic log. `ok` means the job reached its target stage.
+struct JobOutcome {
+  std::string name;
+  bool ok = false;
+  Stage reached = Stage::kCreated;
+  FlowMetrics metrics;
+  util::Diagnostics diagnostics;
+};
+
+/// Aggregate over a whole batch.
+struct FlowReport {
+  std::vector<JobOutcome> jobs;
+
+  // Rollups over jobs that reached the relevant stage.
+  int total_gates = 0;
+  double total_area_lambda2 = 0.0;
+  double total_energy_per_cycle_j = 0.0;
+  double worst_arrival_s = 0.0;       ///< max over jobs
+  int total_drc_violations = 0;
+  bool all_immune = true;             ///< over CNFET jobs that signed off
+
+  [[nodiscard]] std::size_t num_ok() const;
+  [[nodiscard]] std::size_t num_failed() const { return jobs.size() - num_ok(); }
+
+  /// Every diagnostic of every job, tagged with the job name.
+  [[nodiscard]] util::Diagnostics merged_diagnostics() const;
+
+  /// Table rendering (one row per job + a rollup footer).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the jobs sequentially and independently: no exception escapes, one
+/// failing job never aborts the rest, and jobs on the same technology share
+/// one characterized library through LibraryCache::global().
+[[nodiscard]] FlowReport run_batch(const std::vector<FlowJob>& jobs);
+
+/// Jobs compiling the paper's Table-1 cell family (INV ... OAI21) under
+/// each requested technology — the standard regression batch.
+[[nodiscard]] std::vector<FlowJob> family_jobs(
+    const std::vector<layout::Tech>& techs, const FlowOptions& base = {});
+
+}  // namespace cnfet::api

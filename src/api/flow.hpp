@@ -1,0 +1,245 @@
+// The public compiler pipeline of the kit: Boolean logic in, immune CNFET
+// GDSII out, as ONE typed object instead of hand-wired free functions.
+//
+// A Flow advances through the stages
+//
+//     Created -> Mapped -> Timed -> Placed -> SignedOff -> Exported
+//
+// where each advance produces a typed artifact (MappedArtifact,
+// TimedArtifact, ...) and appends structured Diagnostics (severity, stage,
+// message). Every fallible public call returns util::Result<T>; exceptions
+// thrown by the internal engines (mapper, STA, placer, DRC, immunity
+// prover, GDS writer) are caught at this boundary and converted into
+// error diagnostics, so a batch driver can run thousands of jobs without
+// unwinding. Characterized libraries are shared through api::LibraryCache.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/library_cache.hpp"
+#include "drc/drc.hpp"
+#include "flow/gate_netlist.hpp"
+#include "flow/mapper.hpp"
+#include "flow/placer.hpp"
+#include "gds/gds.hpp"
+#include "sta/sta.hpp"
+#include "util/result.hpp"
+
+namespace cnfet::api {
+
+/// Pipeline position. A Flow only moves forward, one stage per advance.
+enum class Stage {
+  kCreated,
+  kMapped,
+  kTimed,
+  kPlaced,
+  kSignedOff,
+  kExported,
+};
+
+[[nodiscard]] const char* to_string(Stage stage);
+
+/// Stages are totally ordered; compare positions with this.
+[[nodiscard]] constexpr int index_of_stage(Stage stage) {
+  return static_cast<int>(stage);
+}
+
+/// Options for a whole flow run. Stage-specific knobs reuse the engines'
+/// own option structs so nothing is expressible only in the legacy API.
+struct FlowOptions {
+  layout::Tech tech = layout::Tech::kCnfet65;
+  /// Drive strength of the mapped gates (library suffix, e.g. 1 -> "_1X").
+  double drive = 1.0;
+  /// Optional stronger drive for gates driving primary outputs (0 = same).
+  double output_drive = 0.0;
+  /// Exhaustively verify the mapping against the specification (<= 16
+  /// inputs; wider designs downgrade to a warning diagnostic).
+  bool verify = true;
+  sta::StaOptions sta;
+  flow::PlaceOptions place;
+  drc::DrcOptions drc;
+  /// GDS top structure name.
+  std::string top_name = "TOP";
+  /// Pre-characterized library; null = fetch from LibraryCache::global().
+  LibraryHandle library;
+};
+
+/// Stage artifact: technology mapping (or an adopted netlist).
+struct MappedArtifact {
+  flow::MapResult map;
+  int num_inputs = 0;
+  /// True when the exhaustive equivalence check ran and passed. Adopted
+  /// netlists (Flow::from_netlist) have no specification to check against.
+  bool verified = false;
+};
+
+/// Stage artifact: static timing and the energy/cycle rollup.
+struct TimedArtifact {
+  sta::StaResult timing;
+  [[nodiscard]] double edp_js() const {
+    return timing.worst_arrival * timing.energy_per_cycle;
+  }
+};
+
+/// Stage artifact: placement under the chosen scheme.
+struct PlacedArtifact {
+  flow::PlacementResult placement;
+};
+
+/// Per-library-cell signoff record (distinct cells used by the design).
+struct CellSignOff {
+  std::string cell;
+  int drc_violations = 0;
+  bool immune = false;
+  /// False when the immunity proof is not applicable (CMOS baseline).
+  bool immunity_checked = false;
+};
+
+/// Stage artifact: DRC + CNT-immunity signoff over the cells the design
+/// instantiates. Dirty cells surface as warning diagnostics, not errors —
+/// the numbers are the product.
+struct SignOffArtifact {
+  std::vector<CellSignOff> cells;
+  int total_drc_violations = 0;
+  bool all_immune = true;
+
+  [[nodiscard]] bool clean() const {
+    return total_drc_violations == 0 && all_immune;
+  }
+};
+
+/// Stage artifact: the GDSII library (cell structures + top with SREFs).
+struct ExportedArtifact {
+  gds::Library gds;
+  std::string top_name;
+};
+
+/// Flat metric rollup of whatever stages have completed — the Table-1 /
+/// Figure-8 numbers as data. Fields for stages not yet reached hold their
+/// zero defaults.
+struct FlowMetrics {
+  std::string name;
+  layout::Tech tech = layout::Tech::kCnfet65;
+  Stage stage = Stage::kCreated;
+  // Mapped
+  int gates = 0, nand2 = 0, nor2 = 0, inv = 0;
+  bool verified = false;
+  // Timed
+  double worst_arrival_s = 0.0;
+  double energy_per_cycle_j = 0.0;
+  double edp_js = 0.0;
+  // Placed
+  double placed_area_lambda2 = 0.0;
+  double utilization = 0.0;
+  double hpwl_lambda = 0.0;
+  // SignedOff
+  int cells_signed_off = 0;
+  int drc_violations = 0;
+  bool all_immune = false;
+  // Exported
+  std::size_t gds_structures = 0;
+};
+
+/// The stage-typed logic-to-GDSII pipeline. Construct with one of the
+/// factories, then either step (`map()`, `time()`, ...) or `run()` to a
+/// target stage; read artifacts through the const accessors.
+class Flow {
+ public:
+  /// Compiles named Boolean outputs over shared primary inputs.
+  [[nodiscard]] static util::Result<Flow> from_expressions(
+      std::vector<flow::OutputSpec> outputs,
+      std::vector<std::string> input_names, FlowOptions options = {});
+
+  /// Compiles one standard-family cell's function (OUT = NOT pdn(x)) —
+  /// "give me an immune NAND3" as a single call.
+  [[nodiscard]] static util::Result<Flow> from_cell(const std::string& name,
+                                                    FlowOptions options = {});
+
+  /// Adopts an already-built gate netlist (e.g. flow::build_full_adder) at
+  /// stage Mapped. The netlist must reference cells of `options.library`
+  /// (or of the cached library for `options.tech` when null).
+  [[nodiscard]] static util::Result<Flow> from_netlist(
+      flow::GateNetlist netlist, FlowOptions options = {});
+
+  Flow(Flow&&) = default;
+  Flow& operator=(Flow&&) = default;
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Stage stage() const { return stage_; }
+  [[nodiscard]] const FlowOptions& options() const { return options_; }
+  [[nodiscard]] const util::Diagnostics& diagnostics() const { return diags_; }
+  [[nodiscard]] const liberty::Library& library() const { return *library_; }
+  [[nodiscard]] LibraryHandle library_handle() const { return library_; }
+
+  /// Stage advances. Each requires exactly the preceding stage, returns the
+  /// reached stage, and never throws: failures come back as the Result's
+  /// Diagnostic (also recorded in diagnostics()) with the stage unchanged.
+  util::Result<Stage> map();
+  util::Result<Stage> time();
+  util::Result<Stage> place();
+  util::Result<Stage> sign_off();
+  util::Result<Stage> export_design();
+
+  /// Advances until `target` (default: all the way to Exported), stopping
+  /// at the first failing stage.
+  util::Result<Stage> run(Stage target = Stage::kExported);
+
+  /// Artifact accessors: null until the corresponding stage completes.
+  [[nodiscard]] const MappedArtifact* mapped() const {
+    return mapped_ ? &*mapped_ : nullptr;
+  }
+  [[nodiscard]] const TimedArtifact* timed() const {
+    return timed_ ? &*timed_ : nullptr;
+  }
+  [[nodiscard]] const PlacedArtifact* placed() const {
+    return placed_ ? &*placed_ : nullptr;
+  }
+  [[nodiscard]] const SignOffArtifact* signed_off() const {
+    return signoff_ ? &*signoff_ : nullptr;
+  }
+  [[nodiscard]] const ExportedArtifact* exported() const {
+    return exported_ ? &*exported_ : nullptr;
+  }
+
+  /// The design netlist (valid from stage Mapped onward).
+  [[nodiscard]] util::Result<const flow::GateNetlist*> netlist() const;
+
+  /// Writes the exported GDS stream to `path`; returns the path.
+  [[nodiscard]] util::Result<std::string> write_gds(
+      const std::string& path) const;
+
+  /// Snapshot of every completed stage's headline numbers.
+  [[nodiscard]] FlowMetrics metrics() const;
+
+ private:
+  Flow(std::string name, FlowOptions options, LibraryHandle library);
+
+  /// Runs `body` with the exception->Diagnostic conversion and the
+  /// stage-order check shared by every advance.
+  template <typename Body>
+  util::Result<Stage> advance(Stage required, Stage next,
+                              const char* stage_name, Body&& body);
+
+  std::string name_;
+  FlowOptions options_;
+  LibraryHandle library_;
+  Stage stage_ = Stage::kCreated;
+  util::Diagnostics diags_;
+
+  // Specification (empty for adopted netlists).
+  std::vector<flow::OutputSpec> spec_outputs_;
+  std::vector<std::string> spec_inputs_;
+
+  std::optional<MappedArtifact> mapped_;
+  std::optional<TimedArtifact> timed_;
+  std::optional<PlacedArtifact> placed_;
+  std::optional<SignOffArtifact> signoff_;
+  std::optional<ExportedArtifact> exported_;
+};
+
+}  // namespace cnfet::api

@@ -1,0 +1,52 @@
+#include "api/library_cache.hpp"
+
+#include <exception>
+
+namespace cnfet::api {
+
+LibraryCache& LibraryCache::global() {
+  static LibraryCache cache;
+  return cache;
+}
+
+util::Result<LibraryHandle> LibraryCache::get(layout::Tech tech) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_tech_.find(tech);
+    if (it != by_tech_.end()) return it->second;
+  }
+  // Characterize outside the lock: it is seconds of work, and a second
+  // thread racing to the same tech just builds a duplicate that loses the
+  // insertion race — wasteful but correct.
+  liberty::CharacterizeOptions options;
+  options.layout_tech = tech;
+  auto built = build(options);
+  if (!built.ok()) return built;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = by_tech_.emplace(tech, built.value());
+  return it->second;
+}
+
+util::Result<LibraryHandle> LibraryCache::build(
+    const liberty::CharacterizeOptions& options) {
+  try {
+    return LibraryHandle(std::make_shared<const liberty::Library>(
+        liberty::build_library(options)));
+  } catch (const std::exception& e) {
+    return util::Result<LibraryHandle>::failure(
+        "characterize", std::string("library characterization failed: ") +
+                            e.what());
+  }
+}
+
+std::size_t LibraryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_tech_.size();
+}
+
+void LibraryCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  by_tech_.clear();
+}
+
+}  // namespace cnfet::api

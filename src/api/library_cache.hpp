@@ -1,0 +1,46 @@
+// Shared characterized-library store for the api::Flow pipeline.
+//
+// Characterizing a library runs hundreds of transient simulations, so a
+// batch of flow jobs must not redo it per job. The cache hands out one
+// shared, immutable liberty::Library per technology; flows and gate
+// netlists keep it alive through the shared_ptr (Gate holds raw LibCell
+// pointers into the library, so the owner must outlive every netlist
+// mapped against it).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "layout/rules.hpp"
+#include "liberty/library.hpp"
+#include "util/result.hpp"
+
+namespace cnfet::api {
+
+using LibraryHandle = std::shared_ptr<const liberty::Library>;
+
+class LibraryCache {
+ public:
+  /// Process-wide cache shared by Flow, run_batch and core::DesignKit.
+  [[nodiscard]] static LibraryCache& global();
+
+  /// The default-characterized library for a technology, building and
+  /// memoizing it on first request. Thread-safe; characterization failures
+  /// come back as a Diagnostic, never an exception.
+  [[nodiscard]] util::Result<LibraryHandle> get(layout::Tech tech);
+
+  /// Builds (uncached) with explicit characterization options, for callers
+  /// that sweep non-default grids. Same non-throwing contract as get().
+  [[nodiscard]] static util::Result<LibraryHandle> build(
+      const liberty::CharacterizeOptions& options);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<layout::Tech, LibraryHandle> by_tech_;
+};
+
+}  // namespace cnfet::api

@@ -1,5 +1,9 @@
 #include "core/design_kit.hpp"
 
+#include <utility>
+
+#include "util/error.hpp"
+
 namespace cnfet::core {
 
 layout::BuiltCell DesignKit::cell(const std::string& name,
@@ -56,22 +60,21 @@ std::vector<CellAreaSummary> DesignKit::table1_sweep() const {
 }
 
 const liberty::Library& DesignKit::library() const {
-  if (!library_built_) {
-    liberty::CharacterizeOptions options;
-    options.layout_tech = tech_;
-    library_ = liberty::build_library(options);
-    library_built_ = true;
+  if (!library_) {
+    auto handle = api::LibraryCache::global().get(tech_);
+    if (!handle.ok()) throw util::Error(handle.error().to_string());
+    library_ = std::move(handle).value();
   }
-  return library_;
+  return *library_;
 }
 
 cnt::MonteCarloResult DesignKit::monte_carlo(const std::string& name,
                                              layout::LayoutStyle style,
-                                             int trials,
-                                             std::uint64_t seed) const {
+                                             int trials, std::uint64_t seed,
+                                             const cnt::TubeModel& model) const {
   const auto built = cell(name, style);
-  return cnt::monte_carlo(built.layout, built.netlist, built.function,
-                          cnt::TubeModel{}, trials, seed);
+  return cnt::monte_carlo(built.layout, built.netlist, built.function, model,
+                          trials, seed);
 }
 
 }  // namespace cnfet::core

@@ -1,13 +1,20 @@
-// The CNFET Design Kit facade: the one-stop public API tying together the
-// paper's contributions — compact imperfection-immune layout synthesis,
-// the characterized standard-cell library, and the logic-to-GDSII flow —
-// for both the CNFET technology and the 65nm CMOS baseline it is compared
-// against. Examples and benchmark harnesses program against this header.
+// Cell-level convenience facade (legacy shim).
+//
+// The compiler pipeline — logic in, immune GDSII out — lives in
+// api::Flow / api::run_batch (api/flow.hpp, api/batch.hpp): stage-typed,
+// Result-returning, batchable, with the characterized library shared
+// through api::LibraryCache. New code should program against api::Flow.
+//
+// DesignKit remains as the thin cell-level entry point (build one cell,
+// audit its area/immunity/DRC, run a Monte Carlo) and delegates its
+// library to the same api::LibraryCache the pipeline uses, so mixing the
+// two APIs never characterizes twice.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "api/library_cache.hpp"
 #include "cnt/analyzer.hpp"
 #include "drc/drc.hpp"
 #include "flow/gate_netlist.hpp"
@@ -58,18 +65,20 @@ class DesignKit {
   /// the compact-Euler and the prior etched technique.
   [[nodiscard]] std::vector<CellAreaSummary> table1_sweep() const;
 
-  /// Characterized library (cached after first call).
+  /// Characterized library, shared with api::Flow through
+  /// api::LibraryCache (one characterization per technology per process).
+  /// Throws util::Error when characterization fails (legacy contract; the
+  /// api:: layer reports the same failure as a Diagnostic instead).
   [[nodiscard]] const liberty::Library& library() const;
 
   /// CNT immunity Monte Carlo for a cell.
   [[nodiscard]] cnt::MonteCarloResult monte_carlo(
       const std::string& name, layout::LayoutStyle style, int trials,
-      std::uint64_t seed = 1) const;
+      std::uint64_t seed = 1, const cnt::TubeModel& model = {}) const;
 
  private:
   layout::Tech tech_;
-  mutable bool library_built_ = false;
-  mutable liberty::Library library_;
+  mutable api::LibraryHandle library_;
 };
 
 }  // namespace cnfet::core

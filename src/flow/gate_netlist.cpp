@@ -35,6 +35,17 @@ void GateNetlist::add_gate(Gate gate) {
   gates_.push_back(std::move(gate));
 }
 
+void GateNetlist::replace_gate(int index, Gate gate) {
+  CNFET_REQUIRE(index >= 0 && index < static_cast<int>(gates_.size()));
+  CNFET_REQUIRE(gate.cell != nullptr);
+  CNFET_REQUIRE(static_cast<int>(gate.inputs.size()) ==
+                gate.cell->built.netlist.num_inputs());
+  for (const int n : gate.inputs) CNFET_REQUIRE(n >= 0 && n < num_nets());
+  CNFET_REQUIRE_MSG(gate.output == gates_[static_cast<std::size_t>(index)].output,
+                    "replace_gate must keep the same output net");
+  gates_[static_cast<std::size_t>(index)] = std::move(gate);
+}
+
 std::vector<const Gate*> GateNetlist::topological_order() const {
   std::map<int, const Gate*> driver_of;
   for (const auto& g : gates_) {
@@ -113,13 +124,11 @@ std::vector<bool> GateNetlist::simulate(std::uint64_t input_row) const {
   return value;
 }
 
-namespace {
-
 std::string drive_suffix(double drive) {
+  CNFET_REQUIRE_MSG(drive > 0 && drive == static_cast<int>(drive),
+                    "drive strengths are positive integers");
   return "_" + std::to_string(static_cast<int>(drive)) + "X";
 }
-
-}  // namespace
 
 GateNetlist build_full_adder(const liberty::Library& library,
                              const FullAdderOptions& options) {

@@ -9,6 +9,11 @@
 
 namespace cnfet::flow {
 
+/// Library-name suffix for a drive strength ("_2X"). The library only
+/// characterizes integral drives, so non-integral requests are a caller
+/// bug (CNFET_REQUIRE) rather than a silent truncation.
+[[nodiscard]] std::string drive_suffix(double drive);
+
 /// One placed-able logic gate instance.
 struct Gate {
   const liberty::LibCell* cell = nullptr;
@@ -32,7 +37,13 @@ class GateNetlist {
 
   void add_gate(Gate gate);
   [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
-  [[nodiscard]] std::vector<Gate>& gates() { return gates_; }
+
+  /// Swaps out one gate (e.g. resizing a cell) with the same validation as
+  /// add_gate plus the single-driver invariant: the replacement must keep
+  /// driving the same output net. This is the only mutation of an existing
+  /// gate — handing out a mutable gates() vector would let callers silently
+  /// break driver/topological invariants.
+  void replace_gate(int index, Gate gate);
 
   /// Gates in topological order (inputs before users); throws on cycles.
   [[nodiscard]] std::vector<const Gate*> topological_order() const;

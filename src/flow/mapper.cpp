@@ -143,15 +143,14 @@ class Cover {
   [[nodiscard]] static std::string suffixed(const std::string& base,
                                             double drive,
                                             const liberty::Library&) {
-    return base + "_" + std::to_string(static_cast<int>(drive)) + "X";
+    return base + drive_suffix(drive);
   }
 
   int emit(const liberty::LibCell* cell, std::vector<int> ins,
            const std::string& prefix) {
-    const int out =
-        netlist_.add_net(prefix + std::to_string(serial_++));
-    netlist_.add_gate(Gate{cell, std::move(ins), out,
-                           prefix + std::to_string(serial_)});
+    const std::string id = prefix + std::to_string(serial_++);
+    const int out = netlist_.add_net(id);
+    netlist_.add_gate(Gate{cell, std::move(ins), out, id});
     return out;
   }
 
@@ -195,6 +194,24 @@ MapResult map_expressions(const std::vector<OutputSpec>& outputs,
   result.nand_count = cover.nand_count;
   result.nor_count = cover.nor_count;
   result.inv_count = cover.inv_count;
+
+  // Output buffering: resize the driver of each primary output in place.
+  // replace_gate keeps the driver/topology invariants intact.
+  if (options.output_drive > 0 && options.output_drive != options.drive) {
+    const std::string suffix = drive_suffix(options.output_drive);
+    for (const int out : result.netlist.outputs()) {
+      for (int i = 0; i < static_cast<int>(result.netlist.gates().size());
+           ++i) {
+        const auto& gate = result.netlist.gates()[static_cast<std::size_t>(i)];
+        if (gate.output != out) continue;
+        const auto base = gate.cell->name.substr(0, gate.cell->name.find('_'));
+        Gate resized = gate;
+        resized.cell = &library.find(base + suffix);
+        result.netlist.replace_gate(i, std::move(resized));
+        break;
+      }
+    }
+  }
   return result;
 }
 

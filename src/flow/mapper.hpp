@@ -27,6 +27,9 @@ struct OutputSpec {
 struct MapOptions {
   /// Drive strength for the mapped gates (suffix on library lookups).
   double drive = 1.0;
+  /// When > 0, gates driving primary outputs are resized to this drive
+  /// after covering (the mapper's lightweight output buffering).
+  double output_drive = 0.0;
 };
 
 struct MapResult {

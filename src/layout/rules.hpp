@@ -16,6 +16,10 @@ namespace cnfet::layout {
 /// one doping pair; CMOS cells need the wide n-well/p-well separation.
 enum class Tech { kCnfet65, kCmos65 };
 
+[[nodiscard]] constexpr const char* to_string(Tech tech) {
+  return tech == Tech::kCnfet65 ? "CNFET65" : "CMOS65";
+}
+
 struct DesignRules {
   // --- strip-direction (horizontal) rules, in lambda ---
   double gate_len = 2.0;            ///< Lg

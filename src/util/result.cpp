@@ -1,0 +1,39 @@
+#include "util/result.hpp"
+
+namespace cnfet::util {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  return std::string(util::to_string(severity)) + " [" + stage + "] " +
+         message;
+}
+
+std::size_t Diagnostics::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& d : items_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string Diagnostics::to_string() const {
+  std::string out;
+  for (const auto& d : items_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cnfet::util

@@ -1,0 +1,114 @@
+// Structured, non-throwing error reporting for the public API boundary.
+//
+// Inside the library, invalid input and contract violations throw (see
+// error.hpp) — that keeps the algorithmic code honest and terse. At the
+// public api:: boundary exceptions stop: every fallible call returns a
+// Result<T> carrying either a value or a Diagnostic, and pipelines
+// accumulate an ordered Diagnostics list (severity, stage, message) that a
+// batch driver can aggregate instead of unwinding the whole run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cnfet::util {
+
+enum class Severity { kInfo, kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// One structured finding: which pipeline stage produced it, how bad it is,
+/// and what happened. The `stage` string is free-form ("map", "drc", ...)
+/// so non-pipeline modules can reuse the type.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string stage;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// An ordered list of diagnostics with severity rollups. Pipelines append
+/// as they advance; reports merge lists from many jobs.
+class Diagnostics {
+ public:
+  void add(Diagnostic diagnostic) {
+    items_.push_back(std::move(diagnostic));
+  }
+  void info(std::string stage, std::string message) {
+    add({Severity::kInfo, std::move(stage), std::move(message)});
+  }
+  void warning(std::string stage, std::string message) {
+    add({Severity::kWarning, std::move(stage), std::move(message)});
+  }
+  void error(std::string stage, std::string message) {
+    add({Severity::kError, std::move(stage), std::move(message)});
+  }
+  void append(const Diagnostics& other) {
+    items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& items() const { return items_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] bool has_errors() const {
+    return count(Severity::kError) > 0;
+  }
+  /// One line per diagnostic; empty string when clean.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+/// Expected-style value-or-Diagnostic. Success is implicit from a T,
+/// failure from a Diagnostic (or the `failure` shorthand). Accessing the
+/// wrong alternative is a caller bug and trips CNFET_REQUIRE.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Diagnostic error)                       // NOLINT(google-explicit-*)
+      : error_(std::move(error)) {
+    if (error_.severity != Severity::kError) error_.severity = Severity::kError;
+  }
+
+  [[nodiscard]] static Result failure(std::string stage, std::string message) {
+    return Result(Diagnostic{Severity::kError, std::move(stage),
+                             std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    CNFET_REQUIRE_MSG(ok(), error_.to_string());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    CNFET_REQUIRE_MSG(ok(), error_.to_string());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    CNFET_REQUIRE_MSG(ok(), error_.to_string());
+    return std::move(*value_);
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  [[nodiscard]] const Diagnostic& error() const {
+    CNFET_REQUIRE_MSG(!ok(), "Result holds a value, not an error");
+    return error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  Diagnostic error_;
+};
+
+}  // namespace cnfet::util
