@@ -1,137 +1,157 @@
-// E8 — google-benchmark microbenchmarks of the kit's algorithms: Euler
-// layout synthesis, exact immunity proof, Monte Carlo throughput, transient
-// simulation, and the api::Flow pipeline stages (mapping, placement,
-// export) against a pre-characterized shared library.
-#include <benchmark/benchmark.h>
+// E8 — performance harness for the parallel execution subsystem: times the
+// two hot paths (cnt::monte_carlo trial sharding, api::run_batch job
+// fan-out) serially and with one worker per hardware thread, verifies the
+// parallel results are identical to the serial ones, and writes the
+// numbers to BENCH_perf.json so the perf trajectory is machine-readable.
+//
+//   $ ./bench_perf            # ~10 s; writes ./BENCH_perf.json
+#include <chrono>
+#include <cstdio>
+#include <string>
 
-#include "api/flow.hpp"
+#include "api/batch.hpp"
 #include "cnt/analyzer.hpp"
 #include "layout/cells.hpp"
-#include "sim/fo4.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
 using namespace cnfet;
 
-/// One characterization for all pipeline benches (seconds of transient
-/// sims; must not run inside a timing loop).
-api::LibraryHandle shared_library() {
-  static const api::LibraryHandle lib =
-      api::LibraryCache::global().get(layout::Tech::kCnfet65).value();
-  return lib;
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
-void BM_EulerPlanning(benchmark::State& state) {
-  const auto& specs = layout::standard_cell_family();
-  const auto& spec = specs[static_cast<std::size_t>(state.range(0))];
-  const auto pdn = logic::parse_expr(spec.pdn_expr);
-  const auto cell = netlist::build_static_cell(pdn);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        layout::plan_planes(cell, layout::LayoutStyle::kCompactEuler));
+/// Best-of-`reps` wall time of fn, in milliseconds.
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double elapsed = ms_since(start);
+    if (elapsed < best) best = elapsed;
   }
-  state.SetLabel(spec.name);
+  return best;
 }
-BENCHMARK(BM_EulerPlanning)->DenseRange(0, 11, 3);
 
-void BM_CellBuild(benchmark::State& state) {
-  const auto spec = layout::find_cell_spec("AOI22");
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(layout::build_cell(spec));
-  }
-}
-BENCHMARK(BM_CellBuild);
+struct Timing {
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
 
-void BM_ExactImmunityProof(benchmark::State& state) {
-  const auto built = layout::build_cell(layout::find_cell_spec("AOI31"));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        cnt::check_exact(built.layout, built.netlist, built.function));
+  [[nodiscard]] double speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
   }
-}
-BENCHMARK(BM_ExactImmunityProof);
+};
 
-void BM_MonteCarloTubes(benchmark::State& state) {
-  const auto built = layout::build_cell(layout::find_cell_spec("NAND3"));
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cnt::monte_carlo(built.layout, built.netlist,
-                                              built.function,
-                                              cnt::TubeModel{}, 10, seed++));
-  }
-  state.SetItemsProcessed(state.iterations() * 10 * 24);  // tubes traced
+void print_timing(const char* name, const Timing& t) {
+  std::printf("%-12s serial %8.1f ms | parallel %8.1f ms | speedup %.2fx | "
+              "results identical: %s\n",
+              name, t.serial_ms, t.parallel_ms, t.speedup(),
+              t.identical ? "yes" : "NO");
 }
-BENCHMARK(BM_MonteCarloTubes);
-
-void BM_TransientFo4(benchmark::State& state) {
-  const auto inv = device::cnfet_inverter(13);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::measure_fo4(inv));
-  }
-}
-BENCHMARK(BM_TransientFo4)->Unit(benchmark::kMillisecond);
-
-void BM_SwitchLevelEvaluate(benchmark::State& state) {
-  const auto cell = netlist::build_static_cell(logic::parse_expr("ABC+D"));
-  std::uint64_t row = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cell.evaluate(row++ & 15));
-  }
-}
-BENCHMARK(BM_SwitchLevelEvaluate);
-
-void BM_FlowMap(benchmark::State& state) {
-  api::FlowOptions options;
-  options.library = shared_library();
-  const std::vector<std::string> inputs = {"A", "B", "C", "D"};
-  std::vector<flow::OutputSpec> outputs;
-  outputs.push_back({"f", logic::parse_expr("A*B+A*C+B*C"), false});
-  outputs.push_back({"g", logic::parse_expr("(A+B)*(C+D)"), true});
-  for (auto _ : state) {
-    auto flow = api::Flow::from_expressions(outputs, inputs, options);
-    benchmark::DoNotOptimize(flow.value().map());
-  }
-}
-BENCHMARK(BM_FlowMap);
-
-void BM_FlowPipelineToGds(benchmark::State& state) {
-  api::FlowOptions options;
-  options.library = shared_library();
-  for (auto _ : state) {
-    auto flow = api::Flow::from_cell("AOI22", options);
-    benchmark::DoNotOptimize(flow.value().run());
-  }
-}
-BENCHMARK(BM_FlowPipelineToGds)->Unit(benchmark::kMillisecond);
-
-void BM_FlowPlaceScaling(benchmark::State& state) {
-  // Pipeline cost (adopt + STA + placement) vs design size: an N-gate
-  // NAND2 chain adopted at the Mapped stage.
-  const auto library = shared_library();
-  flow::GateNetlist chain;
-  const int a = chain.add_net("A");
-  const int b = chain.add_net("B");
-  chain.mark_input(a);
-  chain.mark_input(b);
-  const auto& nand2 = library->find("NAND2_1X");
-  int prev = b;
-  for (int i = 0; i < state.range(0); ++i) {
-    const int out = chain.add_net("n" + std::to_string(i));
-    chain.add_gate(flow::Gate{&nand2, {a, prev}, out,
-                              "g" + std::to_string(i)});
-    prev = out;
-  }
-  chain.mark_output(prev);
-  api::FlowOptions options;
-  options.library = library;
-  for (auto _ : state) {
-    auto flow = api::Flow::from_netlist(chain, options);
-    benchmark::DoNotOptimize(flow.value().run(api::Stage::kPlaced));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_FlowPlaceScaling)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  using namespace cnfet;
+  const int threads = util::hardware_threads();
+  std::printf("== E8 / perf: serial vs %d-thread wall time ==\n\n", threads);
+
+  // Warm the per-tech library cache so run_batch timings measure the
+  // pipeline, not one-time characterization.
+  (void)api::LibraryCache::global().get(layout::Tech::kCnfet65);
+  (void)api::LibraryCache::global().get(layout::Tech::kCmos65);
+
+  // --- Monte Carlo: trials shard across workers ---------------------------
+  constexpr int kTrials = 6000;
+  constexpr std::uint64_t kSeed = 42;
+  const auto built = layout::build_cell(layout::find_cell_spec("NAND3"));
+  auto run_mc = [&](int num_threads) {
+    return cnt::monte_carlo(built.layout, built.netlist, built.function,
+                            cnt::TubeModel{}, kTrials, kSeed, num_threads);
+  };
+  Timing mc;
+  cnt::MonteCarloResult mc_serial;
+  cnt::MonteCarloResult mc_parallel;
+  mc.serial_ms = best_ms(3, [&] { mc_serial = run_mc(1); });
+  mc.parallel_ms = best_ms(3, [&] { mc_parallel = run_mc(threads); });
+  mc.identical = mc_serial.failing_trials == mc_parallel.failing_trials &&
+                 mc_serial.tubes_sampled == mc_parallel.tubes_sampled &&
+                 mc_serial.stray_shorts == mc_parallel.stray_shorts &&
+                 mc_serial.stray_chains == mc_parallel.stray_chains;
+  print_timing("monte_carlo", mc);
+
+  // --- run_batch: the Table-1 family under both technologies -------------
+  // One family pass is sub-millisecond against a warm library, so repeat
+  // it until the wall time dominates pool startup (the job list models a
+  // regression batch re-running the family many times).
+  const auto family = api::family_jobs(
+      {layout::Tech::kCnfet65, layout::Tech::kCmos65});
+  std::vector<api::FlowJob> jobs;
+  for (int rep = 0; rep < 40; ++rep) {
+    jobs.insert(jobs.end(), family.begin(), family.end());
+  }
+  auto run_jobs = [&](int num_threads) {
+    api::BatchOptions options;
+    options.num_threads = num_threads;
+    return api::run_batch(jobs, options);
+  };
+  Timing batch;
+  std::string batch_serial;
+  std::string batch_parallel;
+  batch.serial_ms = best_ms(2, [&] {
+    const auto report = run_jobs(1);
+    batch_serial = report.to_string() + report.merged_diagnostics().to_string();
+  });
+  batch.parallel_ms = best_ms(2, [&] {
+    const auto report = run_jobs(threads);
+    batch_parallel =
+        report.to_string() + report.merged_diagnostics().to_string();
+  });
+  batch.identical = batch_serial == batch_parallel;
+  print_timing("run_batch", batch);
+
+  // --- machine-readable trajectory ---------------------------------------
+  const char* path = "BENCH_perf.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::printf("cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"threads\": %d,\n"
+               "  \"monte_carlo\": {\n"
+               "    \"cell\": \"NAND3\",\n"
+               "    \"trials\": %d,\n"
+               "    \"serial_ms\": %.3f,\n"
+               "    \"parallel_ms\": %.3f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"trials_per_sec_serial\": %.1f,\n"
+               "    \"trials_per_sec_parallel\": %.1f,\n"
+               "    \"identical\": %s\n"
+               "  },\n"
+               "  \"run_batch\": {\n"
+               "    \"jobs\": %zu,\n"
+               "    \"serial_ms\": %.3f,\n"
+               "    \"parallel_ms\": %.3f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"identical\": %s\n"
+               "  }\n"
+               "}\n",
+               threads, kTrials, mc.serial_ms, mc.parallel_ms, mc.speedup(),
+               1000.0 * kTrials / mc.serial_ms,
+               1000.0 * kTrials / mc.parallel_ms,
+               mc.identical ? "true" : "false", jobs.size(), batch.serial_ms,
+               batch.parallel_ms, batch.speedup(),
+               batch.identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
+
+  // Equivalence is a hard requirement; speedup depends on the host's cores.
+  return (mc.identical && batch.identical) ? 0 : 1;
+}

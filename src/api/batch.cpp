@@ -1,7 +1,9 @@
 #include "api/batch.hpp"
 
+#include <atomic>
 #include <utility>
 
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace cnfet::api {
@@ -93,11 +95,35 @@ std::string FlowReport::to_string() const {
   return out;
 }
 
-FlowReport run_batch(const std::vector<FlowJob>& jobs) {
+FlowReport run_batch(const std::vector<FlowJob>& jobs,
+                     const BatchOptions& options) {
+  // Jobs are independent failure domains, so they parallelize by index:
+  // parallel_map keeps outcome i at slot i, and the rollup below walks the
+  // outcomes in job order — the report is byte-identical to a serial run.
+  std::atomic<bool> abort{false};
+  auto outcomes = util::parallel_map(
+      static_cast<std::int64_t>(jobs.size()),
+      [&](std::int64_t i) -> JobOutcome {
+        const auto& job = jobs[static_cast<std::size_t>(i)];
+        if (options.fail_fast && abort.load(std::memory_order_relaxed)) {
+          JobOutcome skipped;
+          skipped.name = job.name;
+          skipped.diagnostics.error(
+              "batch", "skipped: an earlier job failed (fail_fast)");
+          return skipped;
+        }
+        auto outcome = run_one(job);
+        if (!outcome.ok && options.fail_fast) {
+          abort.store(true, std::memory_order_relaxed);
+        }
+        return outcome;
+      },
+      options.num_threads);
+  // run_one never lets an exception escape (the Flow boundary converts
+  // them), so a parallel_map failure is unreachable; value() asserts that.
   FlowReport report;
-  report.jobs.reserve(jobs.size());
-  for (const auto& job : jobs) {
-    auto outcome = run_one(job);
+  report.jobs = std::move(outcomes).value();
+  for (const auto& outcome : report.jobs) {
     const auto& m = outcome.metrics;
     report.total_gates += m.gates;
     report.total_area_lambda2 += m.placed_area_lambda2;
@@ -110,7 +136,6 @@ FlowReport run_batch(const std::vector<FlowJob>& jobs) {
         !m.all_immune) {
       report.all_immune = false;
     }
-    report.jobs.push_back(std::move(outcome));
   }
   return report;
 }

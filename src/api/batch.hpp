@@ -56,10 +56,30 @@ struct FlowReport {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Runs the jobs sequentially and independently: no exception escapes, one
-/// failing job never aborts the rest, and jobs on the same technology share
-/// one characterized library through LibraryCache::global().
-[[nodiscard]] FlowReport run_batch(const std::vector<FlowJob>& jobs);
+/// Execution knobs for run_batch.
+struct BatchOptions {
+  /// Worker threads for independent jobs: 1 (default) runs serially in the
+  /// calling thread, 0 uses one worker per hardware thread. Any value
+  /// produces an identical FlowReport — outcomes land in job order and
+  /// each job's diagnostics are computed independently.
+  int num_threads = 1;
+  /// Stop launching jobs after the first failure; unstarted jobs are
+  /// reported as failed with a "skipped" diagnostic. Deterministic when
+  /// serial; with threads, jobs already in flight still finish and the
+  /// skip boundary depends on timing.
+  bool fail_fast = false;
+};
+
+/// Runs the jobs independently: no exception escapes, one failing job never
+/// aborts the rest (unless fail_fast), and jobs on the same technology
+/// share one characterized library through LibraryCache::global() (a cache
+/// miss is characterized once; concurrent jobs block on the in-flight
+/// build instead of duplicating it).
+[[nodiscard]] FlowReport run_batch(const std::vector<FlowJob>& jobs,
+                                   const BatchOptions& options);
+[[nodiscard]] inline FlowReport run_batch(const std::vector<FlowJob>& jobs) {
+  return run_batch(jobs, BatchOptions{});
+}
 
 /// Jobs compiling the paper's Table-1 cell family (INV ... OAI21) under
 /// each requested technology — the standard regression batch.

@@ -1,8 +1,19 @@
 #include "api/library_cache.hpp"
 
+#include <atomic>
 #include <exception>
+#include <optional>
+#include <utility>
 
 namespace cnfet::api {
+
+struct LibraryCache::Slot {
+  std::once_flag once;
+  std::optional<util::Result<LibraryHandle>> result;
+  /// Release-store after `result` is written; size() acquire-loads it to
+  /// observe the slot without entering the call_once.
+  std::atomic<bool> done{false};
+};
 
 LibraryCache& LibraryCache::global() {
   static LibraryCache cache;
@@ -10,21 +21,24 @@ LibraryCache& LibraryCache::global() {
 }
 
 util::Result<LibraryHandle> LibraryCache::get(layout::Tech tech) {
+  // Two-phase memoization: the map lock only guards slot creation (cheap),
+  // while the seconds-long characterization runs under the slot's
+  // call_once — so concurrent misses on the SAME tech share one build and
+  // different techs build in parallel.
+  std::shared_ptr<Slot> slot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = by_tech_.find(tech);
-    if (it != by_tech_.end()) return it->second;
+    auto& entry = by_tech_[tech];
+    if (!entry) entry = std::make_shared<Slot>();
+    slot = entry;
   }
-  // Characterize outside the lock: it is seconds of work, and a second
-  // thread racing to the same tech just builds a duplicate that loses the
-  // insertion race — wasteful but correct.
-  liberty::CharacterizeOptions options;
-  options.layout_tech = tech;
-  auto built = build(options);
-  if (!built.ok()) return built;
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = by_tech_.emplace(tech, built.value());
-  return it->second;
+  std::call_once(slot->once, [&] {
+    liberty::CharacterizeOptions options;
+    options.layout_tech = tech;
+    slot->result = build(options);
+    slot->done.store(true, std::memory_order_release);
+  });
+  return *slot->result;
 }
 
 util::Result<LibraryHandle> LibraryCache::build(
@@ -41,10 +55,19 @@ util::Result<LibraryHandle> LibraryCache::build(
 
 std::size_t LibraryCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return by_tech_.size();
+  std::size_t built = 0;
+  for (const auto& [tech, slot] : by_tech_) {
+    if (slot->done.load(std::memory_order_acquire) && slot->result->ok()) {
+      ++built;
+    }
+  }
+  return built;
 }
 
 void LibraryCache::clear() {
+  // Waiters still blocked in call_once keep their slot alive through the
+  // shared_ptr; they complete against the detached slot while new get()
+  // calls start fresh.
   std::lock_guard<std::mutex> lock(mutex_);
   by_tech_.clear();
 }

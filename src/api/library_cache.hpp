@@ -6,6 +6,16 @@
 // netlists keep it alive through the shared_ptr (Gate holds raw LibCell
 // pointers into the library, so the owner must outlive every netlist
 // mapped against it).
+//
+// Sharing model (the run_batch workers depend on this):
+//  * get() is safe to call from any number of threads. A cache miss is
+//    characterized exactly ONCE per technology — concurrent callers block
+//    on the in-flight build (std::call_once per tech slot) instead of
+//    duplicating the work, and all receive the same handle.
+//  * The handed-out liberty::Library is deeply immutable, so any number
+//    of flows may read it concurrently with no further locking.
+//  * A failed characterization is cached too (the same options fail the
+//    same way); clear() resets the cache if a retry is ever wanted.
 #pragma once
 
 #include <map>
@@ -26,7 +36,8 @@ class LibraryCache {
   [[nodiscard]] static LibraryCache& global();
 
   /// The default-characterized library for a technology, building and
-  /// memoizing it on first request. Thread-safe; characterization failures
+  /// memoizing it on first request. Thread-safe; concurrent misses on the
+  /// same technology share one in-flight build. Characterization failures
   /// come back as a Diagnostic, never an exception.
   [[nodiscard]] util::Result<LibraryHandle> get(layout::Tech tech);
 
@@ -35,12 +46,17 @@ class LibraryCache {
   [[nodiscard]] static util::Result<LibraryHandle> build(
       const liberty::CharacterizeOptions& options);
 
+  /// Number of completed successful characterizations currently cached.
   [[nodiscard]] std::size_t size() const;
   void clear();
 
  private:
+  /// One per-technology memo cell: call_once guards the build, `result`
+  /// is written exactly once before any waiter reads it.
+  struct Slot;
+
   mutable std::mutex mutex_;
-  std::map<layout::Tech, LibraryHandle> by_tech_;
+  std::map<layout::Tech, std::shared_ptr<Slot>> by_tech_;
 };
 
 }  // namespace cnfet::api

@@ -1,11 +1,13 @@
 #include "cnt/analyzer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
 #include "geom/segment.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace cnfet::cnt {
 
@@ -220,23 +222,31 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
                              const CellNetlist& cell,
                              const logic::TruthTable& function,
                              const TubeModel& model, int trials,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, int num_threads) {
   CNFET_REQUIRE(trials > 0 && model.tubes_per_trial > 0);
   const CellGeometry geo = layout.geometry();
   const Rect box = layout.bbox();
-  util::Xoshiro256 rng(seed);
-
-  MonteCarloResult result;
-  result.trials = trials;
 
   constexpr double kPi = 3.14159265358979323846;
   const double diag_margin = model.mean_length_lambda * geom::kLambda;
 
-  for (int trial = 0; trial < trials; ++trial) {
+  // Trials are independent instances; each draws from its own
+  // counter-seeded stream (see header) and folds integer tallies into the
+  // shared counters. Integer addition commutes, so the totals — and hence
+  // the whole MonteCarloResult — are identical for every thread count.
+  std::atomic<int> failing_trials{0};
+  std::atomic<std::int64_t> tubes_sampled{0};
+  std::atomic<std::int64_t> stray_shorts{0};
+  std::atomic<std::int64_t> stray_chains{0};
+
+  auto run_trial = [&](std::int64_t trial) {
+    util::Xoshiro256 rng(
+        util::derive_stream(seed, static_cast<std::uint64_t>(trial)));
+    std::int64_t trial_shorts = 0;
+    std::int64_t trial_chains = 0;
     CellNetlist augmented = cell;
     bool any_effect = false;
     for (int tube = 0; tube < model.tubes_per_trial; ++tube) {
-      ++result.tubes_sampled;
       // Random center anywhere a tube could still intersect the cell.
       const DVec2 center{
           rng.uniform(static_cast<double>(box.lo().x) - diag_margin,
@@ -266,17 +276,32 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
       for (const auto& effect : trace_tube(geo, {start, mid, end})) {
         any_effect = true;
         if (effect.is_short()) {
-          ++result.stray_shorts;
+          ++trial_shorts;
         } else {
-          ++result.stray_chains;
+          ++trial_chains;
         }
         apply_effect(augmented, effect);
       }
     }
+    tubes_sampled += model.tubes_per_trial;
+    stray_shorts += trial_shorts;
+    stray_chains += trial_chains;
     if (any_effect && !augmented.check_function(function).ok) {
-      ++result.failing_trials;
+      ++failing_trials;
     }
-  }
+  };
+
+  const auto ran = util::parallel_for(trials, run_trial, num_threads);
+  // Trials never throw on valid inputs; a captured failure here is a
+  // contract violation, reported under the legacy throwing contract.
+  if (!ran.ok()) throw util::Error(ran.error().to_string());
+
+  MonteCarloResult result;
+  result.trials = trials;
+  result.failing_trials = failing_trials.load();
+  result.tubes_sampled = tubes_sampled.load();
+  result.stray_shorts = stray_shorts.load();
+  result.stray_chains = stray_chains.load();
   return result;
 }
 

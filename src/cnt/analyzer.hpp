@@ -100,11 +100,18 @@ struct MonteCarloResult {
 
 /// Samples `trials` cell instances, each hit by tubes_per_trial mispositioned
 /// tubes, and evaluates the augmented netlist functionally per instance.
+///
+/// Reproducibility contract: trial `i` draws from its own RNG stream
+/// `util::Xoshiro256(util::derive_stream(seed, i))` (counter-based seeding),
+/// so the same (seed, trials, model) produces a bit-identical result for
+/// ANY `num_threads` — trials shard across workers without sharing a
+/// stream. `num_threads` 1 runs inline, 0 uses every hardware thread.
 [[nodiscard]] MonteCarloResult monte_carlo(const layout::CellLayout& layout,
                                            const netlist::CellNetlist& cell,
                                            const logic::TruthTable& function,
                                            const TubeModel& model, int trials,
-                                           std::uint64_t seed = 1);
+                                           std::uint64_t seed = 1,
+                                           int num_threads = 1);
 
 /// Stray effects of one explicit tube polyline (exposed for tests and the
 /// Figure-2 demonstration bench).

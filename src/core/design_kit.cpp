@@ -71,10 +71,11 @@ const liberty::Library& DesignKit::library() const {
 cnt::MonteCarloResult DesignKit::monte_carlo(const std::string& name,
                                              layout::LayoutStyle style,
                                              int trials, std::uint64_t seed,
-                                             const cnt::TubeModel& model) const {
+                                             const cnt::TubeModel& model,
+                                             int num_threads) const {
   const auto built = cell(name, style);
   return cnt::monte_carlo(built.layout, built.netlist, built.function, model,
-                          trials, seed);
+                          trials, seed, num_threads);
 }
 
 }  // namespace cnfet::core

@@ -71,10 +71,13 @@ class DesignKit {
   /// api:: layer reports the same failure as a Diagnostic instead).
   [[nodiscard]] const liberty::Library& library() const;
 
-  /// CNT immunity Monte Carlo for a cell.
+  /// CNT immunity Monte Carlo for a cell. `num_threads` shards trials
+  /// across workers (0 = hardware threads); the result is bit-identical
+  /// for any thread count (see cnt::monte_carlo's seeding contract).
   [[nodiscard]] cnt::MonteCarloResult monte_carlo(
       const std::string& name, layout::LayoutStyle style, int trials,
-      std::uint64_t seed = 1, const cnt::TubeModel& model = {}) const;
+      std::uint64_t seed = 1, const cnt::TubeModel& model = {},
+      int num_threads = 1) const;
 
  private:
   layout::Tech tech_;

@@ -1,0 +1,152 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace cnfet::util {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_threads(int num_threads, std::int64_t n) {
+  const int want = num_threads == 0 ? hardware_threads()
+                   : num_threads < 0 ? 1
+                                     : num_threads;
+  if (n < 1) return 1;
+  return static_cast<int>(std::min<std::int64_t>(want, n));
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  CNFET_REQUIRE(num_threads >= 0);
+  const int count = num_threads == 0 ? hardware_threads() : num_threads;
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  CNFET_REQUIRE(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CNFET_REQUIRE_MSG(!stopping_, "submit() on a shut-down ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+struct IndexedFailure {
+  std::int64_t index = 0;
+  Diagnostic diagnostic;
+};
+
+Diagnostic task_failure(std::int64_t index, const char* what) {
+  return Diagnostic{Severity::kError, "parallel",
+                    "task " + std::to_string(index) + " failed: " + what};
+}
+
+}  // namespace
+
+Result<ParallelDone> parallel_for(std::int64_t n,
+                                  const std::function<void(std::int64_t)>& fn,
+                                  int num_threads) {
+  CNFET_REQUIRE(n >= 0);
+  if (n == 0) return ParallelDone{0};
+  const int threads = resolve_threads(num_threads, n);
+
+  if (threads <= 1) {
+    // Mirror the threaded path: every task runs even after a failure, and
+    // the lowest-index failure is what gets reported.
+    std::optional<Diagnostic> first_failure;
+    for (std::int64_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        if (!first_failure) first_failure = task_failure(i, e.what());
+      } catch (...) {
+        if (!first_failure) first_failure = task_failure(i, "unknown exception");
+      }
+    }
+    if (first_failure) return *first_failure;
+    return ParallelDone{n};
+  }
+
+  std::atomic<std::int64_t> next{0};
+  std::mutex failures_mutex;
+  std::vector<IndexedFailure> failures;
+  {
+    ThreadPool pool(threads);
+    for (int w = 0; w < threads; ++w) {
+      pool.submit([&] {
+        for (;;) {
+          const std::int64_t i = next.fetch_add(1);
+          if (i >= n) return;
+          try {
+            fn(i);
+          } catch (const std::exception& e) {
+            std::lock_guard<std::mutex> lock(failures_mutex);
+            failures.push_back({i, task_failure(i, e.what())});
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(failures_mutex);
+            failures.push_back({i, task_failure(i, "unknown exception")});
+          }
+        }
+      });
+    }
+  }  // ThreadPool dtor drains + joins: every index ran to completion here.
+
+  if (!failures.empty()) {
+    const auto first = std::min_element(
+        failures.begin(), failures.end(),
+        [](const auto& a, const auto& b) { return a.index < b.index; });
+    return first->diagnostic;
+  }
+  return ParallelDone{n};
+}
+
+}  // namespace cnfet::util

@@ -1,0 +1,109 @@
+// Small concurrency layer for the kit's embarrassingly parallel loops
+// (batch compilation, Monte Carlo sharding, benches).
+//
+// Design rules, in keeping with the api:: error contract:
+//  * deterministic results — parallel_for/parallel_map assign work by
+//    index, so outputs land in input order and a run is bit-identical
+//    regardless of thread count or scheduling;
+//  * no exception crosses a thread boundary — task exceptions are caught
+//    at the task edge and surface as one util::Result/Diagnostic (the
+//    failure with the lowest index, so even the reported error is
+//    schedule-independent);
+//  * fixed-size pool — ThreadPool never grows, and its destructor drains
+//    the queue and joins every worker, so scopes own their parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace cnfet::util {
+
+/// Usable hardware parallelism, always >= 1 (hardware_concurrency() may
+/// legally return 0 on exotic platforms).
+[[nodiscard]] int hardware_threads();
+
+/// Resolves a user-facing thread-count knob: 0 means "one per hardware
+/// thread", negative values fall back to 1, and the result is clamped to
+/// [1, n] so callers never spawn more workers than there are work items.
+[[nodiscard]] int resolve_threads(int num_threads, std::int64_t n);
+
+/// Fixed-size worker pool over a FIFO task queue. Submitted tasks must not
+/// throw (parallel_for wraps its tasks; direct users wrap their own) —
+/// a throwing task terminates, same as an escaping exception on a plain
+/// std::thread. Destruction finishes every queued task, then joins.
+class ThreadPool {
+ public:
+  /// num_threads == 0 means one worker per hardware thread.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Invalid after shutdown().
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every in-flight task finished.
+  void wait_idle();
+
+  /// Finishes every queued task, joins all workers. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;   ///< queue non-empty or stopping
+  std::condition_variable all_idle_;     ///< queue empty and nothing running
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int running_ = 0;       ///< tasks currently executing
+  bool stopping_ = false;
+};
+
+/// Success value of parallel_for (Result<T> needs a T even when the
+/// product is side effects).
+struct ParallelDone {
+  std::int64_t tasks = 0;
+};
+
+/// Runs fn(0) .. fn(n-1), sharding indices across up to `num_threads`
+/// workers (0 = hardware threads; <=1 or n<=1 runs inline). Exceptions
+/// thrown by fn are captured at the task boundary; every task still gets
+/// scheduled, and the failure with the LOWEST index is returned so the
+/// outcome does not depend on thread timing. fn must be safe to call
+/// concurrently for distinct indices.
+[[nodiscard]] Result<ParallelDone> parallel_for(
+    std::int64_t n, const std::function<void(std::int64_t)>& fn,
+    int num_threads = 0);
+
+/// parallel_for that collects fn(i) into a vector with result i at slot i
+/// (deterministic ordering regardless of schedule).
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::int64_t n, Fn&& fn, int num_threads = 0)
+    -> Result<std::vector<decltype(fn(std::int64_t{}))>> {
+  using T = decltype(fn(std::int64_t{}));
+  std::vector<std::optional<T>> slots(static_cast<std::size_t>(n));
+  auto ran = parallel_for(
+      n,
+      [&](std::int64_t i) { slots[static_cast<std::size_t>(i)] = fn(i); },
+      num_threads);
+  if (!ran.ok()) return ran.error();
+  std::vector<T> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace cnfet::util

@@ -11,6 +11,19 @@
 
 namespace cnfet::util {
 
+/// Derives the seed of an independent substream from a base seed and a
+/// stream index (SplitMix64 finalizer over their combination). This is the
+/// kit's counter-based seeding contract: Monte Carlo trial `i` always runs
+/// on `Xoshiro256(derive_stream(seed, i))`, so a sweep partitioned across
+/// any number of threads reproduces the single-threaded run bit for bit.
+[[nodiscard]] constexpr std::uint64_t derive_stream(std::uint64_t seed,
+                                                    std::uint64_t index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256++ 1.0 by Blackman & Vigna (public domain reference algorithm).
 class Xoshiro256 {
  public:

@@ -1,0 +1,216 @@
+// util::parallel (pool lifecycle, determinism, exception capture) and the
+// serial-vs-threaded equivalence contracts of run_batch / monte_carlo.
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/batch.hpp"
+#include "cnt/analyzer.hpp"
+#include "layout/cells.hpp"
+#include "util/parallel.hpp"
+
+namespace cnfet {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { ++ran; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 100);
+  }
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasksAndIsIdempotent) {
+  std::atomic<int> ran{0};
+  util::ThreadPool pool(2);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++ran;
+    });
+  }
+  pool.shutdown();  // must finish all 32, not abandon the queue
+  EXPECT_EQ(ran.load(), 32);
+  pool.shutdown();  // second call is a no-op (and so is the destructor)
+}
+
+TEST(ThreadPool, DestructorJoinsWithoutLosingWork) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(3);
+    for (int i = 0; i < 48; ++i) {
+      pool.submit([&] { ++ran; });
+    }
+  }  // destructor drains + joins
+  EXPECT_EQ(ran.load(), 48);
+}
+
+TEST(ParallelFor, SameResultForEveryThreadCount) {
+  auto run = [](int num_threads) {
+    std::vector<std::int64_t> out(257);
+    auto done = util::parallel_for(
+        257, [&](std::int64_t i) { out[i] = i * i; }, num_threads);
+    EXPECT_TRUE(done.ok());
+    EXPECT_EQ(done.value().tasks, 257);
+    return out;
+  };
+  const auto serial = run(1);
+  for (const int threads : {2, 4, 8, 0}) {
+    EXPECT_EQ(run(threads), serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  const auto done = util::parallel_for(0, [](std::int64_t) { FAIL(); }, 4);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value().tasks, 0);
+}
+
+TEST(ParallelFor, CapturesExceptionsAsLowestIndexDiagnostic) {
+  for (const int threads : {1, 4}) {
+    std::atomic<int> attempted{0};
+    auto done = util::parallel_for(
+        64,
+        [&](std::int64_t i) {
+          ++attempted;
+          if (i == 7 || i == 41) {
+            throw std::runtime_error("boom at " + std::to_string(i));
+          }
+        },
+        threads);
+    ASSERT_FALSE(done.ok()) << threads << " threads";
+    EXPECT_EQ(done.error().stage, "parallel");
+    EXPECT_NE(done.error().message.find("task 7"), std::string::npos)
+        << done.error().message;
+    // A failure never cancels the remaining tasks, at any thread count.
+    EXPECT_EQ(attempted.load(), 64) << threads << " threads";
+  }
+}
+
+TEST(ParallelMap, OrderingIsDeterministic) {
+  auto mapped = util::parallel_map(
+      100, [](std::int64_t i) { return 3 * i + 1; }, 4);
+  ASSERT_TRUE(mapped.ok());
+  const auto& values = mapped.value();
+  ASSERT_EQ(values.size(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(values[static_cast<std::size_t>(i)], 3 * i + 1);
+  }
+}
+
+TEST(ParallelMap, PropagatesTaskFailure) {
+  auto mapped = util::parallel_map(
+      8,
+      [](std::int64_t i) -> int {
+        if (i == 2) throw std::runtime_error("bad item");
+        return static_cast<int>(i);
+      },
+      4);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_NE(mapped.error().message.find("task 2"), std::string::npos);
+}
+
+TEST(ResolveThreads, ClampsToWorkAndHardware) {
+  EXPECT_EQ(util::resolve_threads(4, 2), 2);   // never more than items
+  EXPECT_EQ(util::resolve_threads(3, 100), 3);
+  EXPECT_GE(util::resolve_threads(0, 100), 1);  // 0 = hardware, >= 1
+  EXPECT_EQ(util::resolve_threads(5, 0), 1);
+  EXPECT_EQ(util::resolve_threads(-3, 10), 1);  // negatives fall back to 1
+}
+
+// --- the documented reproducibility contracts ------------------------------
+
+TEST(MonteCarloParallel, BitIdenticalAcrossThreadCounts) {
+  // The vulnerable layout gives non-trivial failing_trials, so equality is
+  // a real check, not 0 == 0.
+  layout::CellBuildOptions vulnerable;
+  vulnerable.style = layout::LayoutStyle::kNaiveVulnerable;
+  const auto built =
+      layout::build_cell(layout::find_cell_spec("NAND2"), vulnerable);
+  auto run = [&](int num_threads) {
+    return cnt::monte_carlo(built.layout, built.netlist, built.function,
+                            cnt::TubeModel{}, 300, 42, num_threads);
+  };
+  const auto serial = run(1);
+  EXPECT_GT(serial.failing_trials, 0);
+  for (const int threads : {2, 4, 0}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(parallel.trials, serial.trials) << threads;
+    EXPECT_EQ(parallel.failing_trials, serial.failing_trials) << threads;
+    EXPECT_EQ(parallel.tubes_sampled, serial.tubes_sampled) << threads;
+    EXPECT_EQ(parallel.stray_shorts, serial.stray_shorts) << threads;
+    EXPECT_EQ(parallel.stray_chains, serial.stray_chains) << threads;
+  }
+}
+
+TEST(RunBatchParallel, ReportByteStableVsSerial) {
+  const auto jobs = api::family_jobs({layout::Tech::kCnfet65});
+  api::BatchOptions serial_options;
+  const auto serial = api::run_batch(jobs, serial_options);
+  ASSERT_EQ(serial.num_ok(), jobs.size());
+
+  api::BatchOptions threaded_options;
+  threaded_options.num_threads = 4;
+  const auto threaded = api::run_batch(jobs, threaded_options);
+
+  ASSERT_EQ(threaded.jobs.size(), serial.jobs.size());
+  for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+    EXPECT_EQ(threaded.jobs[i].name, serial.jobs[i].name);
+    EXPECT_EQ(threaded.jobs[i].ok, serial.jobs[i].ok);
+  }
+  EXPECT_EQ(threaded.to_string(), serial.to_string());
+  EXPECT_EQ(threaded.merged_diagnostics().to_string(),
+            serial.merged_diagnostics().to_string());
+}
+
+TEST(RunBatchParallel, FailuresStayIndependentAcrossThreads) {
+  std::vector<api::FlowJob> jobs;
+  for (const char* cell : {"NAND2", "NO_SUCH_CELL", "INV", "ALSO_BOGUS"}) {
+    api::FlowJob job;
+    job.name = cell;
+    job.cell = cell;
+    jobs.push_back(std::move(job));
+  }
+  for (const int threads : {1, 4}) {
+    api::BatchOptions options;
+    options.num_threads = threads;
+    const auto report = api::run_batch(jobs, options);
+    EXPECT_EQ(report.num_ok(), 2u) << threads;
+    EXPECT_EQ(report.num_failed(), 2u) << threads;
+    EXPECT_TRUE(report.jobs[0].ok);
+    EXPECT_FALSE(report.jobs[1].ok);
+    EXPECT_TRUE(report.jobs[2].ok);
+    EXPECT_FALSE(report.jobs[3].ok);
+  }
+}
+
+TEST(RunBatchParallel, SerialFailFastSkipsJobsAfterFirstFailure) {
+  std::vector<api::FlowJob> jobs;
+  for (const char* cell : {"INV", "NO_SUCH_CELL", "NAND2"}) {
+    api::FlowJob job;
+    job.name = cell;
+    job.cell = cell;
+    jobs.push_back(std::move(job));
+  }
+  api::BatchOptions options;
+  options.fail_fast = true;
+  const auto report = api::run_batch(jobs, options);
+  EXPECT_TRUE(report.jobs[0].ok);
+  EXPECT_FALSE(report.jobs[1].ok);
+  EXPECT_FALSE(report.jobs[2].ok);
+  ASSERT_FALSE(report.jobs[2].diagnostics.empty());
+  EXPECT_NE(report.jobs[2].diagnostics.items().front().message.find("skipped"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnfet
