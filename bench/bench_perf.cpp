@@ -1,17 +1,25 @@
-// E8 — performance harness for the parallel execution subsystem: times the
-// two hot paths (cnt::monte_carlo trial sharding, api::run_batch job
-// fan-out) serially and with one worker per hardware thread, verifies the
-// parallel results are identical to the serial ones, and writes the
-// numbers to BENCH_perf.json so the perf trajectory is machine-readable.
+// E8 — performance harness: times the solver hot paths (single-arc
+// transient, cold library characterization) under the seed engine
+// (fixed-step, finite-difference Jacobian) vs the fast engine (adaptive,
+// analytic Jacobian), the parallel characterization grid, and the two
+// parallel-subsystem paths from PR 2 (cnt::monte_carlo trial sharding,
+// api::run_batch job fan-out). Verifies the fast engine stays inside the
+// accuracy-equivalence contract (delays within 1%, per-cycle energies
+// within 2% of the seed engine) and that parallel results are identical
+// to serial, then writes everything to BENCH_perf.json so the perf
+// trajectory is machine-readable (scripts/check_perf.py gates on it).
 //
-//   $ ./bench_perf            # ~10 s; writes ./BENCH_perf.json
+//   $ ./bench_perf            # ~15 s; writes ./BENCH_perf.json
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "api/batch.hpp"
 #include "cnt/analyzer.hpp"
 #include "layout/cells.hpp"
+#include "liberty/library.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -60,6 +68,121 @@ int main() {
   using namespace cnfet;
   const int threads = util::hardware_threads();
   std::printf("== E8 / perf: serial vs %d-thread wall time ==\n\n", threads);
+
+  // --- single-arc transient: seed engine vs fast engine -------------------
+  liberty::CharacterizeOptions seed_engine;
+  seed_engine.transient.adaptive = false;
+  seed_engine.transient.analytic_jacobian = false;
+  seed_engine.num_threads = 1;
+  liberty::CharacterizeOptions fast_serial = seed_engine;
+  fast_serial.transient = {};
+  fast_serial.transient.tstep = 0.25e-12;
+  fast_serial.transient.tstop = 400e-12;
+  const liberty::CharacterizeOptions fast_parallel = [&] {
+    auto o = fast_serial;
+    o.num_threads = 0;  // one worker per hardware thread
+    return o;
+  }();
+
+  const auto nand2 = layout::build_cell(layout::find_cell_spec("NAND2"));
+  auto one_arc = [&](const liberty::CharacterizeOptions& o, bool rising) {
+    return liberty::measure_arc(nand2.netlist, 0, 0b10, rising, 20e-12,
+                                6e-15, o);
+  };
+  double tran_seed_ms = best_ms(5, [&] { (void)one_arc(seed_engine, true); });
+  double tran_fast_ms = best_ms(5, [&] { (void)one_arc(fast_serial, true); });
+  double tran_delay_err = 0.0;
+  double e_cycle_seed = 0.0;
+  double e_cycle_fast = 0.0;
+  for (const bool rising : {true, false}) {
+    const auto ms = one_arc(seed_engine, rising);
+    const auto mf = one_arc(fast_serial, rising);
+    tran_delay_err = std::max(tran_delay_err,
+                              std::fabs(mf.delay - ms.delay) / ms.delay);
+    e_cycle_seed += ms.energy;
+    e_cycle_fast += mf.energy;
+  }
+  const double tran_energy_err =
+      std::fabs(e_cycle_fast - e_cycle_seed) / std::fabs(e_cycle_seed);
+  const double tran_speedup =
+      tran_fast_ms > 0.0 ? tran_seed_ms / tran_fast_ms : 0.0;
+  const bool tran_ok = tran_delay_err <= 0.01 && tran_energy_err <= 0.02;
+  std::printf("transient    seed %8.3f ms | fast %8.3f ms | speedup %.2fx | "
+              "delay err %.3f%% energy err %.3f%%\n",
+              tran_seed_ms, tran_fast_ms, tran_speedup, 100 * tran_delay_err,
+              100 * tran_energy_err);
+
+  // --- cold characterization: seed vs fast engine, serial vs parallel -----
+  liberty::Library lib_seed;
+  liberty::Library lib_fast;
+  liberty::Library lib_par;
+  const double char_seed_ms =
+      best_ms(1, [&] { lib_seed = liberty::build_library(seed_engine); });
+  const double char_fast_ms =
+      best_ms(1, [&] { lib_fast = liberty::build_library(fast_serial); });
+  const double char_par_ms =
+      best_ms(1, [&] { lib_par = liberty::build_library(fast_parallel); });
+
+  // Accuracy of the fast engine across every cell/arc/grid point, and
+  // bit-stability of the parallel grid against the serial one. The grid
+  // delay bound is dual: 2% relative OR 0.15ps absolute (half a seed
+  // step), because the seed reference itself is only half-a-step accurate
+  // — at sub-picosecond delays a 4x-refined seed run agrees with the
+  // adaptive engine, not with the seed's own 0.25ps march.
+  double char_delay_err = 0.0;
+  double char_delay_abs = 0.0;
+  bool char_delay_ok = true;
+  double char_energy_err = 0.0;
+  bool char_identical = true;
+  for (std::size_t c = 0; c < lib_seed.cells().size(); ++c) {
+    const auto& cs = lib_seed.cells()[c];
+    const auto& cf = lib_fast.cells()[c];
+    const auto& cp = lib_par.cells()[c];
+    for (std::size_t a = 0; a < cs.arcs.size(); ++a) {
+      const auto& slews = cs.arcs[a].delay.slews();
+      const auto& loads = cs.arcs[a].delay.loads();
+      // Rise/fall arcs of one input are adjacent; pair them so energy is
+      // compared per full cycle (the half-cycle where the supply only
+      // feeds short-circuit current is noise-scale on its own).
+      const std::size_t pair = a ^ 1u;
+      for (std::size_t si = 0; si < slews.size(); ++si) {
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+          const double ds = cs.arcs[a].delay.at(si, li);
+          const double df = cf.arcs[a].delay.at(si, li);
+          char_delay_err =
+              std::max(char_delay_err, std::fabs(df - ds) / ds);
+          char_delay_abs = std::max(char_delay_abs, std::fabs(df - ds));
+          char_delay_ok = char_delay_ok &&
+                          std::fabs(df - ds) <= std::max(0.02 * ds, 0.15e-12);
+          const double es = cs.arcs[a].energy.at(si, li) +
+                            cs.arcs[pair].energy.at(si, li);
+          const double ef = cf.arcs[a].energy.at(si, li) +
+                            cf.arcs[pair].energy.at(si, li);
+          char_energy_err =
+              std::max(char_energy_err, std::fabs(ef - es) / std::fabs(es));
+          char_identical = char_identical &&
+                           cf.arcs[a].delay.at(si, li) ==
+                               cp.arcs[a].delay.at(si, li) &&
+                           cf.arcs[a].out_slew.at(si, li) ==
+                               cp.arcs[a].out_slew.at(si, li) &&
+                           cf.arcs[a].energy.at(si, li) ==
+                               cp.arcs[a].energy.at(si, li);
+        }
+      }
+    }
+  }
+  const double char_speedup =
+      char_fast_ms > 0.0 ? char_seed_ms / char_fast_ms : 0.0;
+  const double char_par_speedup =
+      char_par_ms > 0.0 ? char_seed_ms / char_par_ms : 0.0;
+  const bool char_ok =
+      char_delay_ok && char_energy_err <= 0.02 && char_identical;
+  std::printf("characterize seed %8.1f ms | fast %8.1f ms | speedup %.2fx | "
+              "parallel %8.1f ms (%.2fx) | delay err %.3f%% (%.4fps abs) "
+              "energy err %.3f%% | parallel identical: %s\n",
+              char_seed_ms, char_fast_ms, char_speedup, char_par_ms,
+              char_par_speedup, 100 * char_delay_err, char_delay_abs * 1e12,
+              100 * char_energy_err, char_identical ? "yes" : "NO");
 
   // Warm the per-tech library cache so run_batch timings measure the
   // pipeline, not one-time characterization.
@@ -125,6 +248,28 @@ int main() {
   std::fprintf(out,
                "{\n"
                "  \"threads\": %d,\n"
+               "  \"transient_single_arc\": {\n"
+               "    \"cell\": \"NAND2\",\n"
+               "    \"seed_ms\": %.4f,\n"
+               "    \"fast_ms\": %.4f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"delay_rel_err\": %.5f,\n"
+               "    \"energy_rel_err\": %.5f,\n"
+               "    \"within_tolerance\": %s\n"
+               "  },\n"
+               "  \"characterization\": {\n"
+               "    \"cells\": %zu,\n"
+               "    \"seed_serial_ms\": %.3f,\n"
+               "    \"fast_serial_ms\": %.3f,\n"
+               "    \"serial_speedup\": %.3f,\n"
+               "    \"fast_parallel_ms\": %.3f,\n"
+               "    \"parallel_speedup\": %.3f,\n"
+               "    \"delay_rel_err\": %.5f,\n"
+               "    \"delay_abs_err_ps\": %.5f,\n"
+               "    \"delay_within_bounds\": %s,\n"
+               "    \"energy_rel_err\": %.5f,\n"
+               "    \"parallel_identical\": %s\n"
+               "  },\n"
                "  \"monte_carlo\": {\n"
                "    \"cell\": \"NAND3\",\n"
                "    \"trials\": %d,\n"
@@ -143,7 +288,13 @@ int main() {
                "    \"identical\": %s\n"
                "  }\n"
                "}\n",
-               threads, kTrials, mc.serial_ms, mc.parallel_ms, mc.speedup(),
+               threads, tran_seed_ms, tran_fast_ms, tran_speedup,
+               tran_delay_err, tran_energy_err, tran_ok ? "true" : "false",
+               lib_seed.cells().size(), char_seed_ms, char_fast_ms,
+               char_speedup, char_par_ms, char_par_speedup, char_delay_err,
+               char_delay_abs * 1e12, char_delay_ok ? "true" : "false",
+               char_energy_err, char_identical ? "true" : "false", kTrials,
+               mc.serial_ms, mc.parallel_ms, mc.speedup(),
                1000.0 * kTrials / mc.serial_ms,
                1000.0 * kTrials / mc.parallel_ms,
                mc.identical ? "true" : "false", jobs.size(), batch.serial_ms,
@@ -152,6 +303,7 @@ int main() {
   std::fclose(out);
   std::printf("\nwrote %s\n", path);
 
-  // Equivalence is a hard requirement; speedup depends on the host's cores.
-  return (mc.identical && batch.identical) ? 0 : 1;
+  // Equivalence and accuracy are hard requirements; speedup depends on the
+  // host's cores (scripts/check_perf.py gates the speedups separately).
+  return (mc.identical && batch.identical && tran_ok && char_ok) ? 0 : 1;
 }

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_perf.json.
+
+Fails (exit 1) when:
+  * the fast-engine speedups regressed more than 25% against the
+    checked-in baseline (scripts/perf_baseline.json) — speedups are
+    in-run ratios of the seed engine vs the fast engine in the same
+    binary on the same machine, so they are host-independent, unlike
+    absolute milliseconds;
+  * the repo's acceptance floors are missed (>= 3x single-arc transient,
+    >= 5x cold characterization);
+  * any accuracy/equivalence flag in the bench output is false.
+
+Usage: python3 scripts/check_perf.py [BENCH_perf.json]
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REGRESSION_ALLOWANCE = 1.25  # >25% latency regression vs baseline fails
+FLOOR_TRANSIENT = 3.0
+FLOOR_CHARACTERIZATION = 5.0
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    fail.count += 1
+
+
+fail.count = 0
+
+
+def main() -> int:
+    bench_path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                              else "BENCH_perf.json")
+    baseline_path = pathlib.Path(__file__).parent / "perf_baseline.json"
+    bench = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    tran = bench["transient_single_arc"]
+    char = bench["characterization"]
+
+    checks = [
+        ("single-arc transient speedup", tran["speedup"],
+         max(baseline["transient_single_arc_speedup"] / REGRESSION_ALLOWANCE,
+             FLOOR_TRANSIENT)),
+        ("characterization serial speedup", char["serial_speedup"],
+         max(baseline["characterization_serial_speedup"] /
+             REGRESSION_ALLOWANCE, FLOOR_CHARACTERIZATION)),
+    ]
+    for name, actual, minimum in checks:
+        status = "ok" if actual >= minimum else "REGRESSED"
+        print(f"{name}: {actual:.2f}x (minimum {minimum:.2f}x) {status}")
+        if actual < minimum:
+            fail(f"{name} {actual:.2f}x below minimum {minimum:.2f}x "
+                 f"(latency regressed >25% vs scripts/perf_baseline.json)")
+
+    for section, flag in [
+        ("transient_single_arc", "within_tolerance"),
+        ("characterization", "delay_within_bounds"),
+        ("characterization", "parallel_identical"),
+        ("monte_carlo", "identical"),
+        ("run_batch", "identical"),
+    ]:
+        value = bench[section][flag]
+        print(f"{section}.{flag}: {value}")
+        if value is not True:
+            fail(f"{section}.{flag} is {value}")
+
+    if char["energy_rel_err"] > 0.02:
+        fail(f"characterization energy_rel_err {char['energy_rel_err']:.4f} "
+             "exceeds 2%")
+
+    if fail.count:
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

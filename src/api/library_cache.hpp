@@ -12,6 +12,14 @@
 //    characterized exactly ONCE per technology — concurrent callers block
 //    on the in-flight build (std::call_once per tech slot) instead of
 //    duplicating the work, and all receive the same handle.
+//  * A cold build itself runs the fast characterization path: the adaptive
+//    analytic-Jacobian transient engine, with the slew x load x arc grid
+//    fanned out over util::parallel_map (CharacterizeOptions defaults:
+//    num_threads = 0 = one worker per hardware thread). The resulting
+//    library is bit-identical for any thread count, so cache hits are
+//    indistinguishable from a serial build. Callers needing the seed
+//    reference engine or a custom grid go through build() with explicit
+//    liberty::CharacterizeOptions.
 //  * The handed-out liberty::Library is deeply immutable, so any number
 //    of flows may read it concurrently with no further locking.
 //  * A failed characterization is cached too (the same options fail the

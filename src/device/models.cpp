@@ -22,6 +22,35 @@ double alpha_power(double vgs, double vds, double vth, double alpha,
   return isat * std::tanh(vds / vdsat) * (1.0 + lambda_out * vds);
 }
 
+/// alpha_power with exact partial derivatives. I = Isat(vgs)*T(vgs,vds)*L(vds)
+/// with T = tanh(vds/vdsat), L = 1 + lambda*vds:
+///   dI/dvgs = I * alpha/overdrive + Isat * dT/dvgs * L
+///   dI/dvds = Isat * (sech^2(u)/vdsat * L + T * lambda)
+/// where dT/dvgs = -sech^2(u) * vds/vdsat^2 * dvdsat/dvgs (zero once the
+/// vdsat floor clamps).
+IdsGrad alpha_power_grad(double vgs, double vds, double vth, double alpha,
+                         double vdsat_frac, double lambda_out, double i_at_vdd,
+                         double vdd) {
+  if (vgs <= vth || vds <= 0.0) return {};
+  const double overdrive = vgs - vth;
+  const double full = vdd - vth;
+  const double isat = i_at_vdd * std::pow(overdrive / full, alpha);
+  const double disat = alpha * isat / overdrive;
+  const double vdsat_raw = vdsat_frac * overdrive;
+  const double vdsat = std::max(1e-3, vdsat_raw);
+  const double dvdsat = vdsat_raw > 1e-3 ? vdsat_frac : 0.0;
+  const double u = vds / vdsat;
+  const double tanh_u = std::tanh(u);
+  const double sech2 = 1.0 - tanh_u * tanh_u;
+  const double lam = 1.0 + lambda_out * vds;
+  IdsGrad g;
+  g.i = isat * tanh_u * lam;
+  g.di_dvgs =
+      disat * tanh_u * lam - isat * sech2 * (u / vdsat) * dvdsat * lam;
+  g.di_dvds = isat * (sech2 / vdsat * lam + tanh_u * lambda_out);
+  return g;
+}
+
 }  // namespace
 
 DeviceModel mos_device(const MosParams& params, double width_um,
@@ -34,6 +63,10 @@ DeviceModel mos_device(const MosParams& params, double width_um,
   d.ids = [p, i_at_vdd, vdd](double vgs, double vds) {
     return alpha_power(vgs, vds, p.vth, p.alpha, p.vdsat_frac, p.lambda_out,
                        i_at_vdd, vdd);
+  };
+  d.ids_grad = [p, i_at_vdd, vdd](double vgs, double vds) {
+    return alpha_power_grad(vgs, vds, p.vth, p.alpha, p.vdsat_frac,
+                            p.lambda_out, i_at_vdd, vdd);
   };
   d.c_gate = params.c_gate_f_per_um * width_um;
   d.c_drain = params.c_diff_f_per_um * width_um;
@@ -64,6 +97,10 @@ DeviceModel cnfet_device(const CnfetParams& params, int n_tubes,
   d.ids = [p, i_at_vdd, vdd](double vgs, double vds) {
     return alpha_power(vgs, vds, p.vth, p.alpha, p.vdsat_frac, p.lambda_out,
                        i_at_vdd, vdd);
+  };
+  d.ids_grad = [p, i_at_vdd, vdd](double vgs, double vds) {
+    return alpha_power_grad(vgs, vds, p.vth, p.alpha, p.vdsat_frac,
+                            p.lambda_out, i_at_vdd, vdd);
   };
   d.c_gate =
       n_tubes * (params.c_gate_per_tube * s_c + params.c_fringe_per_tube);

@@ -29,10 +29,24 @@ struct Tech65 {
   double temperature_k = 300.0;
 };
 
+/// Drain current plus its analytic partial derivatives in the device's own
+/// first-quadrant frame. The transient engine stamps these straight into the
+/// Newton Jacobian, replacing four finite-difference model evaluations per
+/// FET per iteration with one.
+struct IdsGrad {
+  double i = 0.0;        ///< A
+  double di_dvgs = 0.0;  ///< A/V
+  double di_dvds = 0.0;  ///< A/V
+};
+
 /// Polarity-agnostic quasi-static FET: ids(vgs, vds) for vgs, vds >= 0 in
 /// its own frame; the simulator mirrors it for PFETs and reverse conduction.
 struct DeviceModel {
   std::function<double(double vgs, double vds)> ids;
+  /// Analytic current + derivatives; same model as `ids` (ids_grad(g,d).i ==
+  /// ids(g,d) exactly). Optional: engines fall back to finite differences
+  /// when a hand-built model leaves it empty.
+  std::function<IdsGrad(double vgs, double vds)> ids_grad;
   double c_gate = 0.0;   ///< F, gate input capacitance
   double c_drain = 0.0;  ///< F, drain/source junction capacitance
 };

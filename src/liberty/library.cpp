@@ -6,6 +6,7 @@
 
 #include "sim/transient.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace cnfet::liberty {
@@ -31,16 +32,17 @@ double NldmTable::at(std::size_t si, std::size_t li) const {
 namespace {
 
 /// Index of the lower grid neighbour plus the interpolation fraction.
+/// Binary search: STA interpolates per gate per arc, so this is hot.
 std::pair<std::size_t, double> bracket(const std::vector<double>& grid,
                                        double x) {
   if (x <= grid.front()) return {0, 0.0};
   if (x >= grid.back()) return {grid.size() - 2, 1.0};
-  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
-    if (x >= grid[i] && x <= grid[i + 1]) {
-      return {i, (x - grid[i]) / (grid[i + 1] - grid[i])};
-    }
-  }
-  return {grid.size() - 2, 1.0};
+  const auto it = std::upper_bound(grid.begin(), grid.end(), x);
+  // Only a NaN key reaches end() (both guards above compare false); keep
+  // the linear scan's flat-extrapolation fallback for it.
+  if (it == grid.end()) return {grid.size() - 2, 1.0};
+  const auto i = static_cast<std::size_t>(it - grid.begin()) - 1;
+  return {i, (x - grid[i]) / (grid[i + 1] - grid[i])};
 }
 
 }  // namespace
@@ -96,16 +98,6 @@ device::DeviceModel bind_device(const netlist::Fet& fet,
                           : device::MosParams::pmos65();
   return device::mos_device(params, width_um, options.tech);
 }
-
-namespace {
-
-/// Builds a sim circuit for `cell` with input i toggling and the others
-/// pinned to static values; returns measured delay/slew/energy.
-struct ArcMeasurement {
-  double delay;
-  double out_slew;
-  double energy;
-};
 
 ArcMeasurement measure_arc(const CellNetlist& cell, int input,
                            std::uint64_t side_values, bool in_rising,
@@ -164,9 +156,11 @@ ArcMeasurement measure_arc(const CellNetlist& cell, int input,
   (void)input_gate_cap;
   ckt.add_capacitor(node_of[CellNetlist::kOut], sim::Circuit::kGround, load);
 
-  sim::TransientOptions topt;
-  topt.tstep = 0.25e-12;
-  topt.tstop = 400e-12;
+  // Only the measured waveforms are materialized: the toggling input, the
+  // output, and (for the failure diagnostic) the pinned side inputs.
+  sim::TransientOptions topt = options.transient;
+  topt.record_nodes = input_node;
+  topt.record_nodes.push_back(node_of[CellNetlist::kOut]);
   const sim::Transient tran(ckt, topt);
 
   const auto& vin = tran.v(input_node[static_cast<std::size_t>(input)]);
@@ -179,19 +173,24 @@ ArcMeasurement measure_arc(const CellNetlist& cell, int input,
       vin.cross(in_rising ? 0.02 * vdd : 0.98 * vdd, in_rising, 0.0);
   const bool out_rising = vout[0] < vdd / 2;
   const double t_out = vout.cross(vdd / 2, out_rising, t_start);
-  std::string dbg_inputs;
-  for (int i = 0; i < cell.num_inputs(); ++i) {
-    dbg_inputs += " in" + std::to_string(i) + "=" +
-                  std::to_string(
-                      tran.v(input_node[static_cast<std::size_t>(i)])[0]);
+  if (t_out <= 0) {
+    // Build the diagnostic only on the failure path; this runs on every
+    // grid point of every arc, and the string concatenations were showing
+    // up in characterization profiles.
+    std::string dbg_inputs;
+    for (int i = 0; i < cell.num_inputs(); ++i) {
+      dbg_inputs += " in" + std::to_string(i) + "=" +
+                    std::to_string(
+                        tran.v(input_node[static_cast<std::size_t>(i)])[0]);
+    }
+    throw util::Error(
+        "output did not switch during arc measurement (input " +
+        std::to_string(input) + (in_rising ? " rising" : " falling") +
+        ", side " + std::to_string(side_values) + ", slew " +
+        std::to_string(slew * 1e12) + "ps, load " +
+        std::to_string(load * 1e15) + "fF, vout0 " + std::to_string(vout[0]) +
+        "," + dbg_inputs + ")");
   }
-  CNFET_REQUIRE_MSG(
-      t_out > 0, "output did not switch during arc measurement (input " +
-                     std::to_string(input) + (in_rising ? " rising" : " falling") +
-                     ", side " + std::to_string(side_values) + ", slew " +
-                     std::to_string(slew * 1e12) + "ps, load " +
-                     std::to_string(load * 1e15) + "fF, vout0 " +
-                     std::to_string(vout[0]) + "," + dbg_inputs + ")");
   const double t20 = vout.cross(out_rising ? 0.2 * vdd : 0.8 * vdd,
                                 out_rising, t_start);
   const double t80 = vout.cross(out_rising ? 0.8 * vdd : 0.2 * vdd,
@@ -205,6 +204,8 @@ ArcMeasurement measure_arc(const CellNetlist& cell, int input,
   m.energy = tran.source_energy(supply, 0.0, topt.tstop);
   return m;
 }
+
+namespace {
 
 /// Chooses static side-input values so that toggling `input` switches OUT:
 /// search all assignments for one where the function differs between
@@ -251,39 +252,69 @@ LibCell characterize_cell(const layout::CellSpec& spec, double drive,
         bind_device(f, options).c_gate;
   }
 
+  // Every (arc, slew, load) grid point is an independent transient, so the
+  // whole measurement grid fans out over the worker pool. Results land in a
+  // vector slot keyed by flattened index and the tables are filled from it
+  // in order, so the library is bit-identical for any thread count.
+  struct ArcKey {
+    int input;
+    bool in_rising;
+    std::uint64_t side;
+  };
+  std::vector<ArcKey> keys;
   for (int input = 0; input < cell_ref.netlist.num_inputs(); ++input) {
     const std::uint64_t side =
         sensitizing_side_values(cell_ref.function, input);
     for (const bool in_rising : {true, false}) {
-      TimingArc arc;
-      arc.input = input;
-      // Static cells are inverting along every sensitized path.
-      arc.out_rising = !in_rising;
-      arc.delay = NldmTable(options.slew_grid, options.load_grid);
-      arc.out_slew = NldmTable(options.slew_grid, options.load_grid);
-      arc.energy = NldmTable(options.slew_grid, options.load_grid);
-      for (std::size_t si = 0; si < options.slew_grid.size(); ++si) {
-        for (std::size_t li = 0; li < options.load_grid.size(); ++li) {
-          const auto m = measure_arc(cell_ref.netlist, input, side, in_rising,
-                                     options.slew_grid[si],
-                                     options.load_grid[li], options);
-          arc.delay.set(si, li, m.delay);
-          arc.out_slew.set(si, li, m.out_slew);
-          arc.energy.set(si, li, m.energy);
-        }
-      }
-      lib.arcs.push_back(std::move(arc));
+      keys.push_back({input, in_rising, side});
     }
+  }
+  const std::size_t n_slews = options.slew_grid.size();
+  const std::size_t n_loads = options.load_grid.size();
+  const std::size_t grid = n_slews * n_loads;
+  auto measured = util::parallel_map(
+      static_cast<std::int64_t>(keys.size() * grid),
+      [&](std::int64_t j) {
+        const auto ji = static_cast<std::size_t>(j);
+        const ArcKey& key = keys[ji / grid];
+        const std::size_t si = (ji % grid) / n_loads;
+        const std::size_t li = ji % n_loads;
+        return measure_arc(cell_ref.netlist, key.input, key.side,
+                           key.in_rising, options.slew_grid[si],
+                           options.load_grid[li], options);
+      },
+      options.num_threads);
+  // Re-raise a captured measurement failure under the layer's throwing
+  // contract (the api:: boundary converts it back into a Diagnostic).
+  if (!measured.ok()) throw util::Error(measured.error().message);
+
+  std::size_t j = 0;
+  for (const ArcKey& key : keys) {
+    TimingArc arc;
+    arc.input = key.input;
+    // Static cells are inverting along every sensitized path.
+    arc.out_rising = !key.in_rising;
+    arc.delay = NldmTable(options.slew_grid, options.load_grid);
+    arc.out_slew = NldmTable(options.slew_grid, options.load_grid);
+    arc.energy = NldmTable(options.slew_grid, options.load_grid);
+    for (std::size_t si = 0; si < n_slews; ++si) {
+      for (std::size_t li = 0; li < n_loads; ++li) {
+        const ArcMeasurement& m = measured.value()[j++];
+        arc.delay.set(si, li, m.delay);
+        arc.out_slew.set(si, li, m.out_slew);
+        arc.energy.set(si, li, m.energy);
+      }
+    }
+    lib.arcs.push_back(std::move(arc));
   }
 
   return lib;
 }
 
 const LibCell& Library::find(const std::string& name) const {
-  for (const auto& c : cells_) {
-    if (c.name == name) return c;
-  }
-  throw util::Error("no such library cell: " + name);
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw util::Error("no such library cell: " + name);
+  return cells_[it->second];
 }
 
 Library build_library(const CharacterizeOptions& options) {

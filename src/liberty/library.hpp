@@ -9,12 +9,15 @@
 // case study 1.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "device/models.hpp"
 #include "layout/cells.hpp"
 #include "netlist/cell_netlist.hpp"
+#include "sim/transient.hpp"
 
 namespace cnfet::liberty {
 
@@ -79,25 +82,67 @@ struct CharacterizeOptions {
   double cnfet_width_scale = 0.5;
   std::vector<double> slew_grid = {5e-12, 20e-12, 60e-12};
   std::vector<double> load_grid = {0.5e-15, 2e-15, 6e-15, 14e-15};
+  /// Engine settings for every characterization transient. Defaults to the
+  /// fast engine (adaptive + analytic Jacobian); setting `adaptive` and
+  /// `analytic_jacobian` false reproduces the seed reference engine the
+  /// fast one is validated against.
+  sim::TransientOptions transient = [] {
+    sim::TransientOptions t;
+    t.tstep = 0.25e-12;
+    t.tstop = 400e-12;
+    return t;
+  }();
+  /// Workers for the slew x load x arc measurement grid (0 = one per
+  /// hardware thread, 1 = serial). Grid points are independent transients
+  /// and results are written by index, so the tables are bit-identical
+  /// for any thread count.
+  int num_threads = 0;
 };
+
+/// One measured grid point of a timing arc.
+struct ArcMeasurement {
+  double delay = 0.0;     ///< s, 50%-to-50%
+  double out_slew = 0.0;  ///< s, 20%-80%
+  double energy = 0.0;    ///< J drawn from the supply over the transient
+};
+
+/// Simulates one (cell, input, direction, slew, load) grid point: the
+/// transistor netlist is instantiated in the transient simulator with
+/// `input` toggling, the other inputs pinned to `side_values`, and the
+/// output loaded with `load`. Exposed for the perf bench and the
+/// engine-equivalence tests; characterize_cell drives it over the grid.
+[[nodiscard]] ArcMeasurement measure_arc(const netlist::CellNetlist& cell,
+                                         int input, std::uint64_t side_values,
+                                         bool in_rising, double slew,
+                                         double load,
+                                         const CharacterizeOptions& options);
 
 /// Characterizes one cell at the given drive strength.
 [[nodiscard]] LibCell characterize_cell(const layout::CellSpec& spec,
                                         double drive,
                                         const CharacterizeOptions& options);
 
-/// A characterized library.
+/// A characterized library. Lookups by name go through a name->index map
+/// (mappers call find() per gate, so the linear scan was a hot path).
 class Library {
  public:
   Library() = default;
-  explicit Library(std::vector<LibCell> cells) : cells_(std::move(cells)) {}
+  explicit Library(std::vector<LibCell> cells) : cells_(std::move(cells)) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      index_.emplace(cells_[i].name, i);
+    }
+  }
 
   [[nodiscard]] const LibCell& find(const std::string& name) const;
   [[nodiscard]] const std::vector<LibCell>& cells() const { return cells_; }
-  void add(LibCell cell) { cells_.push_back(std::move(cell)); }
+  void add(LibCell cell) {
+    index_.emplace(cell.name, cells_.size());
+    cells_.push_back(std::move(cell));
+  }
 
  private:
   std::vector<LibCell> cells_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 /// Builds the kit's working library: INV/NAND2 at several drive strengths

@@ -87,4 +87,55 @@ double fet_current(const Circuit::Fet& fet, double vg, double vd, double vs) {
   return fet.model.ids(vd - vg, vd - vs);
 }
 
+FetGrad fet_current_fd_grad(const Circuit::Fet& fet, double vg, double vd,
+                            double vs) {
+  constexpr double dx = 1e-5;
+  FetGrad g;
+  g.i = fet_current(fet, vg, vd, vs);
+  g.di_dvg = (fet_current(fet, vg + dx, vd, vs) - g.i) / dx;
+  g.di_dvd = (fet_current(fet, vg, vd + dx, vs) - g.i) / dx;
+  g.di_dvs = (fet_current(fet, vg, vd, vs + dx) - g.i) / dx;
+  return g;
+}
+
+FetGrad fet_current_grad(const Circuit::Fet& fet, double vg, double vd,
+                         double vs) {
+  // Finite-difference fallback for hand-built models without derivatives.
+  if (!fet.model.ids_grad) return fet_current_fd_grad(fet, vg, vd, vs);
+  // Chain rule through the same four polarity/conduction mirrors as
+  // fet_current: each case maps (vg, vd, vs) to a first-quadrant
+  // (vgs, vds) frame and possibly flips the current's sign.
+  FetGrad g;
+  if (fet.polarity == Polarity::kN) {
+    if (vd >= vs) {
+      const auto m = fet.model.ids_grad(vg - vs, vd - vs);
+      g.i = m.i;
+      g.di_dvg = m.di_dvgs;
+      g.di_dvd = m.di_dvds;
+      g.di_dvs = -(m.di_dvgs + m.di_dvds);
+    } else {
+      const auto m = fet.model.ids_grad(vg - vd, vs - vd);
+      g.i = -m.i;
+      g.di_dvg = -m.di_dvgs;
+      g.di_dvs = -m.di_dvds;
+      g.di_dvd = m.di_dvgs + m.di_dvds;
+    }
+    return g;
+  }
+  if (vs >= vd) {
+    const auto m = fet.model.ids_grad(vs - vg, vs - vd);
+    g.i = -m.i;
+    g.di_dvg = m.di_dvgs;
+    g.di_dvd = m.di_dvds;
+    g.di_dvs = -(m.di_dvgs + m.di_dvds);
+  } else {
+    const auto m = fet.model.ids_grad(vd - vg, vd - vs);
+    g.i = m.i;
+    g.di_dvg = -m.di_dvgs;
+    g.di_dvs = -m.di_dvds;
+    g.di_dvd = m.di_dvgs + m.di_dvds;
+  }
+  return g;
+}
+
 }  // namespace cnfet::sim

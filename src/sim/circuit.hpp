@@ -32,6 +32,13 @@ class Pwl {
 
   [[nodiscard]] double at(double t) const;
 
+  /// Breakpoints of the piecewise-linear shape (time, value), sorted by
+  /// time. Adaptive time stepping clamps steps to land on these so a large
+  /// h never strides over a narrow input edge.
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
   /// Rising then falling pulse: v0 until t0, ramp to v1 over trise, hold
   /// until t1, ramp back over tfall.
   [[nodiscard]] static Pwl pulse(double v0, double v1, double t0,
@@ -107,5 +114,24 @@ class Circuit {
 /// conduction handled by mirroring the device's first-quadrant model.
 [[nodiscard]] double fet_current(const Circuit::Fet& fet, double vg, double vd,
                                  double vs);
+
+/// fet_current plus its partial derivatives w.r.t. the three terminal
+/// voltages (the Newton Jacobian entries). Uses the device's analytic
+/// ids_grad when present, otherwise falls back to forward differences on
+/// fet_current; in both cases `i` equals fet_current(fet, vg, vd, vs).
+struct FetGrad {
+  double i = 0.0;
+  double di_dvg = 0.0;
+  double di_dvd = 0.0;
+  double di_dvs = 0.0;
+};
+[[nodiscard]] FetGrad fet_current_grad(const Circuit::Fet& fet, double vg,
+                                       double vd, double vs);
+
+/// Forward-difference gradient over fet_current (dx = 1e-5): the seed
+/// engine's Jacobian, used by the analytic_jacobian=false A/B path and as
+/// the fet_current_grad fallback for models without ids_grad.
+[[nodiscard]] FetGrad fet_current_fd_grad(const Circuit::Fet& fet, double vg,
+                                          double vd, double vs);
 
 }  // namespace cnfet::sim

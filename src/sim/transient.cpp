@@ -8,7 +8,14 @@
 namespace cnfet::sim {
 
 double Waveform::cross(double level, bool rising, double after) const {
-  for (std::size_t k = 1; k < samples_.size(); ++k) {
+  // Start the scan at the sample just below `after` instead of walking the
+  // whole prefix; the guard below still rejects the partial first interval.
+  std::size_t k = 1;
+  if (after > 0 && tstep_ > 0) {
+    const auto skip = static_cast<std::size_t>(after / tstep_);
+    if (skip > 1) k = std::min(skip, samples_.size());
+  }
+  for (; k < samples_.size(); ++k) {
     const double t1 = time(k);
     if (t1 < after) continue;
     const double v0 = samples_[k - 1];
@@ -58,6 +65,218 @@ void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
   }
 }
 
+/// MNA Newton core operating off a stamp plan precomputed once per circuit.
+///
+/// The sparsity of the system is fixed, so every element's destination
+/// slots (flat indices into the dense matrix and the RHS) are resolved up
+/// front; the per-iteration work is pure arithmetic over those index lists
+/// — no lambda dispatch and no re-derivation of node positions. The
+/// h-dependent constant part of the Jacobian (resistor conductances,
+/// capacitor c/h stamps, source incidence +-1) lives in `base_` and is
+/// rebuilt only when h changes; each Newton iteration copies it and adds
+/// just the FET small-signal entries.
+class MnaSolver {
+ public:
+  MnaSolver(const Circuit& circuit, const TransientOptions& options)
+      : ckt_(circuit), options_(options) {
+    num_nodes = circuit.num_nodes();
+    num_src = static_cast<int>(circuit.sources().size());
+    dim = (num_nodes - 1) + num_src;
+    CNFET_REQUIRE(dim > 0);
+
+    v.assign(static_cast<std::size_t>(num_nodes), 0.0);
+    v_prev = v;
+    branch.assign(static_cast<std::size_t>(num_src), 0.0);
+    jac_.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+    base_ = jac_;
+    rhs_.assign(static_cast<std::size_t>(dim), 0.0);
+
+    // Flat matrix slot for (row node, col node), -1 when either is ground.
+    auto jslot = [&](int nr, int nc) {
+      if (nr <= 0 || nc <= 0) return -1;
+      return (nr - 1) * dim + (nc - 1);
+    };
+    auto rslot = [](int n) { return n > 0 ? n - 1 : -1; };
+
+    for (const auto& r : ckt_.ress()) {
+      ress_.push_back({r.a, r.b, jslot(r.a, r.a), jslot(r.b, r.b),
+                       jslot(r.a, r.b), jslot(r.b, r.a), rslot(r.a),
+                       rslot(r.b), r.g});
+    }
+    for (const auto& c : ckt_.caps()) {
+      caps_.push_back({c.a, c.b, jslot(c.a, c.a), jslot(c.b, c.b),
+                       jslot(c.a, c.b), jslot(c.b, c.a), rslot(c.a),
+                       rslot(c.b), c.c});
+    }
+    for (const auto& f : ckt_.fets()) {
+      fets_.push_back({f.gate, f.drain, f.source, jslot(f.drain, f.gate),
+                       jslot(f.drain, f.drain), jslot(f.drain, f.source),
+                       jslot(f.source, f.gate), jslot(f.source, f.drain),
+                       jslot(f.source, f.source), rslot(f.drain),
+                       rslot(f.source), &f});
+    }
+    for (int s = 0; s < num_src; ++s) {
+      const auto& src = ckt_.sources()[static_cast<std::size_t>(s)];
+      const int brow = (num_nodes - 1) + s;
+      SrcPlan p;
+      p.npos = src.pos;
+      p.nneg = src.neg;
+      p.brow = brow;
+      p.jpb = src.pos > 0 ? (src.pos - 1) * dim + brow : -1;
+      p.jnb = src.neg > 0 ? (src.neg - 1) * dim + brow : -1;
+      p.jbp = src.pos > 0 ? brow * dim + (src.pos - 1) : -1;
+      p.jbn = src.neg > 0 ? brow * dim + (src.neg - 1) : -1;
+      p.rp = rslot(src.pos);
+      p.rn = rslot(src.neg);
+      p.wave = &src.wave;
+      srcs_.push_back(p);
+    }
+  }
+
+  /// One backward-Euler Newton solve for the state at time t with step h,
+  /// starting from (and updating) v/branch; v_prev holds the state at t-h.
+  /// Returns false when Newton fails to converge (caller shrinks h).
+  bool solve(double t, double h) {
+    if (h != base_h_) rebuild_base(h);
+    for (int iter = 0; iter < options_.max_newton; ++iter) {
+      std::copy(base_.begin(), base_.end(), jac_.begin());
+      std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+      for (const auto& p : ress_) {
+        const double i = p.g * (v[static_cast<std::size_t>(p.na)] -
+                                v[static_cast<std::size_t>(p.nb)]);
+        if (p.ra >= 0) rhs_[static_cast<std::size_t>(p.ra)] -= i;
+        if (p.rb >= 0) rhs_[static_cast<std::size_t>(p.rb)] += i;
+      }
+      const double inv_h = 1.0 / h;
+      for (const auto& p : caps_) {
+        const double dv_now = v[static_cast<std::size_t>(p.na)] -
+                              v[static_cast<std::size_t>(p.nb)];
+        const double dv_old = v_prev[static_cast<std::size_t>(p.na)] -
+                              v_prev[static_cast<std::size_t>(p.nb)];
+        const double i = p.c * inv_h * (dv_now - dv_old);
+        if (p.ra >= 0) rhs_[static_cast<std::size_t>(p.ra)] -= i;
+        if (p.rb >= 0) rhs_[static_cast<std::size_t>(p.rb)] += i;
+      }
+      for (const auto& p : fets_) {
+        const double vg = v[static_cast<std::size_t>(p.ng)];
+        const double vd = v[static_cast<std::size_t>(p.nd)];
+        const double vs = v[static_cast<std::size_t>(p.ns)];
+        // The FD branch is the seed engine's Jacobian, kept for A/B runs.
+        const FetGrad g = options_.analytic_jacobian
+                              ? fet_current_grad(*p.fet, vg, vd, vs)
+                              : fet_current_fd_grad(*p.fet, vg, vd, vs);
+        if (p.rd >= 0) rhs_[static_cast<std::size_t>(p.rd)] -= g.i;
+        if (p.rs >= 0) rhs_[static_cast<std::size_t>(p.rs)] += g.i;
+        if (p.jdg >= 0) jac_[static_cast<std::size_t>(p.jdg)] += g.di_dvg;
+        if (p.jdd >= 0) jac_[static_cast<std::size_t>(p.jdd)] += g.di_dvd;
+        if (p.jds >= 0) jac_[static_cast<std::size_t>(p.jds)] += g.di_dvs;
+        if (p.jsg >= 0) jac_[static_cast<std::size_t>(p.jsg)] -= g.di_dvg;
+        if (p.jsd >= 0) jac_[static_cast<std::size_t>(p.jsd)] -= g.di_dvd;
+        if (p.jss >= 0) jac_[static_cast<std::size_t>(p.jss)] -= g.di_dvs;
+      }
+      for (int s = 0; s < num_src; ++s) {
+        const auto& p = srcs_[static_cast<std::size_t>(s)];
+        const double ib = branch[static_cast<std::size_t>(s)];
+        if (p.rp >= 0) rhs_[static_cast<std::size_t>(p.rp)] -= ib;
+        if (p.rn >= 0) rhs_[static_cast<std::size_t>(p.rn)] += ib;
+        // Branch equation v_pos - v_neg = V(t).
+        rhs_[static_cast<std::size_t>(p.brow)] -=
+            (v[static_cast<std::size_t>(p.npos)] -
+             v[static_cast<std::size_t>(p.nneg)] - p.wave->at(t));
+      }
+
+      solve_dense(jac_, rhs_, dim);
+
+      double worst = 0.0;
+      for (int n = 1; n < num_nodes; ++n) {
+        double dv = rhs_[static_cast<std::size_t>(n - 1)];
+        dv = std::clamp(dv, -0.3, 0.3);  // Newton damping
+        v[static_cast<std::size_t>(n)] += dv;
+        worst = std::max(worst, std::fabs(dv));
+      }
+      for (int s = 0; s < num_src; ++s) {
+        branch[static_cast<std::size_t>(s)] +=
+            rhs_[static_cast<std::size_t>((num_nodes - 1) + s)];
+      }
+      if (worst < options_.vtol) return true;
+    }
+    return false;
+  }
+
+  std::vector<double> v;       ///< node voltages (index = node, 0 = ground)
+  std::vector<double> v_prev;  ///< state at the previous accepted time
+  std::vector<double> branch;  ///< source branch currents (into pos)
+  int num_nodes = 0;
+  int num_src = 0;
+  int dim = 0;
+
+ private:
+  struct ResPlan {
+    int na, nb;
+    int jaa, jbb, jab, jba;
+    int ra, rb;
+    double g;
+  };
+  struct CapPlan {
+    int na, nb;
+    int jaa, jbb, jab, jba;
+    int ra, rb;
+    double c;
+  };
+  struct FetPlan {
+    int ng, nd, ns;
+    int jdg, jdd, jds, jsg, jsd, jss;
+    int rd, rs;
+    const Circuit::Fet* fet;
+  };
+  struct SrcPlan {
+    int npos = 0, nneg = 0;
+    int brow = 0;
+    int jpb = -1, jnb = -1, jbp = -1, jbn = -1;
+    int rp = -1, rn = -1;
+    const Pwl* wave = nullptr;
+  };
+
+  void rebuild_base(double h) {
+    std::fill(base_.begin(), base_.end(), 0.0);
+    auto add = [&](int slot, double value) {
+      if (slot >= 0) base_[static_cast<std::size_t>(slot)] += value;
+    };
+    for (const auto& p : ress_) {
+      add(p.jaa, p.g);
+      add(p.jbb, p.g);
+      add(p.jab, -p.g);
+      add(p.jba, -p.g);
+    }
+    for (const auto& p : caps_) {
+      const double g = p.c / h;
+      add(p.jaa, g);
+      add(p.jbb, g);
+      add(p.jab, -g);
+      add(p.jba, -g);
+    }
+    for (const auto& p : srcs_) {
+      add(p.jpb, 1.0);
+      add(p.jnb, -1.0);
+      add(p.jbp, 1.0);
+      add(p.jbn, -1.0);
+    }
+    base_h_ = h;
+  }
+
+  const Circuit& ckt_;
+  const TransientOptions& options_;
+  std::vector<ResPlan> ress_;
+  std::vector<CapPlan> caps_;
+  std::vector<FetPlan> fets_;
+  std::vector<SrcPlan> srcs_;
+  std::vector<double> base_;  ///< constant Jacobian part for base_h_
+  std::vector<double> jac_;
+  std::vector<double> rhs_;
+  double base_h_ = -1.0;
+};
+
 }  // namespace
 
 Transient::Transient(const Circuit& circuit, const TransientOptions& options)
@@ -69,189 +288,252 @@ Transient::Transient(const Circuit& circuit, const TransientOptions& options)
 void Transient::run() {
   const int num_nodes = circuit_.num_nodes();
   const int num_src = static_cast<int>(circuit_.sources().size());
-  const int dim = (num_nodes - 1) + num_src;
-  CNFET_REQUIRE(dim > 0);
+  MnaSolver solver(circuit_, options_);
 
-  auto vindex = [](int node) { return node - 1; };  // ground eliminated
+  const double tstep = options_.tstep;
+  const auto steps = static_cast<std::size_t>(options_.tstop / tstep) + 1;
 
-  std::vector<double> v(static_cast<std::size_t>(num_nodes), 0.0);
-  std::vector<double> v_prev = v;
-
-  const auto steps =
-      static_cast<std::size_t>(options_.tstop / options_.tstep) + 1;
+  // Which node waveforms to materialize; sources are always recorded
+  // (there are few, and the energy integral needs them).
+  std::vector<char> record(static_cast<std::size_t>(num_nodes), 1);
+  if (!options_.record_nodes.empty()) {
+    std::fill(record.begin(), record.end(), 0);
+    for (const int n : options_.record_nodes) {
+      CNFET_REQUIRE(n >= 0 && n < num_nodes);
+      record[static_cast<std::size_t>(n)] = 1;
+    }
+  }
   std::vector<std::vector<double>> node_samples(
       static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    if (record[static_cast<std::size_t>(n)]) {
+      node_samples[static_cast<std::size_t>(n)].reserve(steps);
+    }
+  }
   std::vector<std::vector<double>> source_samples(
       static_cast<std::size_t>(num_src));
+  for (auto& s : source_samples) s.reserve(steps);
 
-  std::vector<double> jac(static_cast<std::size_t>(dim) * dim);
-  std::vector<double> rhs(static_cast<std::size_t>(dim));
-  std::vector<double> branch(static_cast<std::size_t>(num_src), 0.0);
-
-  // One backward-Euler Newton solve for the state at time t. Returns
-  // false when Newton fails to converge (caller retries with a smaller h).
-  auto solve_step = [&](double t, double h) -> bool {
-    for (int iter = 0; iter < options_.max_newton; ++iter) {
-      std::fill(jac.begin(), jac.end(), 0.0);
-      std::fill(rhs.begin(), rhs.end(), 0.0);
-      auto J = [&](int r, int c) -> double& {
-        return jac[static_cast<std::size_t>(r) * dim + c];
-      };
-      auto stamp_g = [&](int a, int b, double g) {
-        if (a > 0) J(vindex(a), vindex(a)) += g;
-        if (b > 0) J(vindex(b), vindex(b)) += g;
-        if (a > 0 && b > 0) {
-          J(vindex(a), vindex(b)) -= g;
-          J(vindex(b), vindex(a)) -= g;
-        }
-      };
-      auto kcl = [&](int node, double current_out) {
-        if (node > 0) rhs[static_cast<std::size_t>(vindex(node))] -= current_out;
-      };
-
-      for (const auto& r : circuit_.ress()) {
-        stamp_g(r.a, r.b, r.g);
-        kcl(r.a, r.g * (v[static_cast<std::size_t>(r.a)] -
-                        v[static_cast<std::size_t>(r.b)]));
-        kcl(r.b, r.g * (v[static_cast<std::size_t>(r.b)] -
-                        v[static_cast<std::size_t>(r.a)]));
-      }
-      for (const auto& c : circuit_.caps()) {
-        const double g = c.c / h;
-        const double dv_now = v[static_cast<std::size_t>(c.a)] -
-                              v[static_cast<std::size_t>(c.b)];
-        const double dv_old = v_prev[static_cast<std::size_t>(c.a)] -
-                              v_prev[static_cast<std::size_t>(c.b)];
-        const double i = g * (dv_now - dv_old);
-        stamp_g(c.a, c.b, g);
-        kcl(c.a, i);
-        kcl(c.b, -i);
-      }
-      for (const auto& f : circuit_.fets()) {
-        const double vg = v[static_cast<std::size_t>(f.gate)];
-        const double vd = v[static_cast<std::size_t>(f.drain)];
-        const double vs = v[static_cast<std::size_t>(f.source)];
-        const double i = fet_current(f, vg, vd, vs);
-        constexpr double dx = 1e-5;
-        const double di_dg = (fet_current(f, vg + dx, vd, vs) - i) / dx;
-        const double di_dd = (fet_current(f, vg, vd + dx, vs) - i) / dx;
-        const double di_ds = (fet_current(f, vg, vd, vs + dx) - i) / dx;
-        kcl(f.drain, i);
-        kcl(f.source, -i);
-        if (f.drain > 0) {
-          if (f.gate > 0) J(vindex(f.drain), vindex(f.gate)) += di_dg;
-          if (f.drain > 0) J(vindex(f.drain), vindex(f.drain)) += di_dd;
-          if (f.source > 0) J(vindex(f.drain), vindex(f.source)) += di_ds;
-        }
-        if (f.source > 0) {
-          if (f.gate > 0) J(vindex(f.source), vindex(f.gate)) -= di_dg;
-          if (f.drain > 0) J(vindex(f.source), vindex(f.drain)) -= di_dd;
-          if (f.source > 0) J(vindex(f.source), vindex(f.source)) -= di_ds;
-        }
-      }
-      for (int s = 0; s < num_src; ++s) {
-        const auto& src = circuit_.sources()[static_cast<std::size_t>(s)];
-        const int brow = (num_nodes - 1) + s;
-        const double ib = branch[static_cast<std::size_t>(s)];
-        // KCL contributions of the branch current.
-        if (src.pos > 0) {
-          J(vindex(src.pos), brow) += 1.0;
-          rhs[static_cast<std::size_t>(vindex(src.pos))] -= ib;
-        }
-        if (src.neg > 0) {
-          J(vindex(src.neg), brow) -= 1.0;
-          rhs[static_cast<std::size_t>(vindex(src.neg))] += ib;
-        }
-        // Branch equation v_pos - v_neg = V(t).
-        if (src.pos > 0) J(brow, vindex(src.pos)) += 1.0;
-        if (src.neg > 0) J(brow, vindex(src.neg)) -= 1.0;
-        rhs[static_cast<std::size_t>(brow)] -=
-            (v[static_cast<std::size_t>(src.pos)] -
-             v[static_cast<std::size_t>(src.neg)] - src.wave.at(t));
-      }
-
-      solve_dense(jac, rhs, dim);
-
-      double worst = 0.0;
-      for (int n = 1; n < num_nodes; ++n) {
-        double dv = rhs[static_cast<std::size_t>(vindex(n))];
-        dv = std::clamp(dv, -0.3, 0.3);  // Newton damping
-        v[static_cast<std::size_t>(n)] += dv;
-        worst = std::max(worst, std::fabs(dv));
-      }
-      for (int s = 0; s < num_src; ++s) {
-        branch[static_cast<std::size_t>(s)] +=
-            rhs[static_cast<std::size_t>((num_nodes - 1) + s)];
-      }
-      if (worst < options_.vtol) return true;
-    }
-    return false;
-  };
-
-  // Time step with halving retry: stiff coarse steps (the settle phase)
-  // occasionally defeat the damped Newton; sub-stepping always recovers.
-  std::vector<double> v_checkpoint;
-  auto step_with_retry = [&](double t, double h) {
-    v_checkpoint = v;
-    for (int halvings = 0; halvings <= 10; ++halvings) {
-      const int substeps = 1 << halvings;
-      const double hs = h / substeps;
-      bool ok = true;
-      for (int s = 0; s < substeps && ok; ++s) {
-        ok = solve_step(t, hs);
-        if (ok) v_prev = v;
-      }
-      if (ok) return;
-      v = v_checkpoint;
-      v_prev = v_checkpoint;
-    }
-    throw util::Error("transient Newton failed to converge");
-  };
-
-  // DC settling with sources frozen at t = 0: a fine-step phase first (the
-  // strong capacitive coupling keeps Newton well conditioned while the
-  // rails come up from zero), then a coarse-step phase so even large loads
-  // reach their operating point, then fine again to tighten.
-  for (int k = 0; k < options_.settle_steps; ++k) {
-    step_with_retry(0.0, options_.tstep);
-  }
-  for (int k = 0; k < options_.settle_steps / 2; ++k) {
-    step_with_retry(0.0, options_.settle_tstep);
-  }
-  for (int k = 0; k < options_.settle_steps / 4; ++k) {
-    step_with_retry(0.0, options_.tstep);
-  }
-
-  for (std::size_t k = 0; k < steps; ++k) {
-    const double t = static_cast<double>(k) * options_.tstep;
-    if (k > 0) {
-      step_with_retry(t, options_.tstep);
-    }
+  auto push_sample = [&](const std::vector<double>& vv,
+                         const std::vector<double>& bb) {
     for (int n = 0; n < num_nodes; ++n) {
-      node_samples[static_cast<std::size_t>(n)].push_back(
-          v[static_cast<std::size_t>(n)]);
+      if (record[static_cast<std::size_t>(n)]) {
+        node_samples[static_cast<std::size_t>(n)].push_back(
+            vv[static_cast<std::size_t>(n)]);
+      }
     }
     for (int s = 0; s < num_src; ++s) {
       // Positive = current delivered from the positive terminal into the
       // circuit (the MNA branch variable is the current INTO pos terminal).
       source_samples[static_cast<std::size_t>(s)].push_back(
-          -branch[static_cast<std::size_t>(s)]);
+          -bb[static_cast<std::size_t>(s)]);
+    }
+  };
+
+  if (!options_.adaptive) {
+    // --- fixed-step reference engine (the seed march) --------------------
+    // Time step with halving retry: stiff coarse steps (the settle phase)
+    // occasionally defeat the damped Newton; sub-stepping always recovers.
+    std::vector<double> v_checkpoint;
+    std::vector<double> b_checkpoint;
+    auto step_with_retry = [&](double t, double h) {
+      v_checkpoint = solver.v;
+      b_checkpoint = solver.branch;
+      for (int halvings = 0; halvings <= 10; ++halvings) {
+        const int substeps = 1 << halvings;
+        const double hs = h / substeps;
+        bool ok = true;
+        for (int s = 0; s < substeps && ok; ++s) {
+          ok = solver.solve(t, hs);
+          if (ok) solver.v_prev = solver.v;
+        }
+        if (ok) return;
+        solver.v = v_checkpoint;
+        solver.v_prev = v_checkpoint;
+        solver.branch = b_checkpoint;
+      }
+      throw util::Error("transient Newton failed to converge");
+    };
+
+    // DC settling with sources frozen at t = 0: a fine-step phase first (the
+    // strong capacitive coupling keeps Newton well conditioned while the
+    // rails come up from zero), then a coarse-step phase so even large loads
+    // reach their operating point, then fine again to tighten.
+    for (int k = 0; k < options_.settle_steps; ++k) {
+      step_with_retry(0.0, tstep);
+    }
+    for (int k = 0; k < options_.settle_steps / 2; ++k) {
+      step_with_retry(0.0, options_.settle_tstep);
+    }
+    for (int k = 0; k < options_.settle_steps / 4; ++k) {
+      step_with_retry(0.0, tstep);
+    }
+
+    for (std::size_t k = 0; k < steps; ++k) {
+      const double t = static_cast<double>(k) * tstep;
+      if (k > 0) step_with_retry(t, tstep);
+      push_sample(solver.v, solver.branch);
+    }
+  } else {
+    // --- adaptive engine --------------------------------------------------
+    // DC operating point by pseudo-transient continuation: march with
+    // sources frozen at t = 0, doubling h up to the settle step, until two
+    // consecutive coarse steps leave the state unchanged. The iteration
+    // bound covers 4000 x settle_tstep = 80ns of pseudo-time (the seed
+    // settle covered 14ps); like the seed march, a circuit still drifting
+    // past the bound proceeds with the best state reached rather than
+    // failing the whole measurement.
+    const double settle_hmax = std::max(options_.settle_tstep, tstep);
+    double h = tstep;
+    std::vector<double> v_save;
+    std::vector<double> b_save;
+    int quiet = 0;
+    for (int k = 0; k < 4000 && quiet < 2; ++k) {
+      v_save = solver.v;
+      b_save = solver.branch;
+      if (!solver.solve(0.0, h)) {
+        solver.v = v_save;
+        solver.v_prev = v_save;
+        solver.branch = b_save;
+        CNFET_REQUIRE_MSG(h > tstep / 4096,
+                          "transient Newton failed to converge (DC settle)");
+        h /= 2;
+        quiet = 0;
+        continue;
+      }
+      double delta = 0.0;
+      for (int n = 1; n < num_nodes; ++n) {
+        delta = std::max(delta, std::fabs(solver.v[static_cast<std::size_t>(
+                                              n)] -
+                                          v_save[static_cast<std::size_t>(n)]));
+      }
+      solver.v_prev = solver.v;
+      if (h >= settle_hmax && delta < 1e-6) {
+        ++quiet;
+      } else {
+        quiet = 0;
+      }
+      h = std::min(h * 2.0, settle_hmax);
+    }
+
+    // LTE-controlled march. Internal steps move freely between the bounds;
+    // output samples land on the uniform tstep grid by linear interpolation
+    // between accepted states, so Waveform semantics match the fixed path.
+    const double h_max = options_.max_step > 0 ? options_.max_step
+                                               : 8.0 * tstep;
+    const double h_min = options_.min_step > 0 ? options_.min_step
+                                               : tstep / 4.0;
+    const double t_end = static_cast<double>(steps - 1) * tstep;
+    const double eps = 1e-6 * tstep;
+
+    // Source PWL breakpoints: steps land on them exactly so a coarse h
+    // never strides over the start of an input edge.
+    std::vector<double> bps;
+    for (const auto& src : circuit_.sources()) {
+      for (const auto& pt : src.wave.points()) {
+        if (pt.first > eps && pt.first < t_end - eps) bps.push_back(pt.first);
+      }
+    }
+    std::sort(bps.begin(), bps.end());
+    bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
+
+    std::vector<double> v_state = solver.v;
+    std::vector<double> b_state = solver.branch;
+    std::vector<double> v_dot(static_cast<std::size_t>(num_nodes), 0.0);
+    push_sample(v_state, b_state);
+
+    std::size_t k_out = 1;
+    std::size_t bp = 0;
+    double t = 0.0;
+    h = tstep;
+    while (k_out < steps) {
+      double h_try = std::min(h, h_max);
+      while (bp < bps.size() && bps[bp] <= t + eps) ++bp;
+      if (bp < bps.size() && t + h_try > bps[bp] - eps) h_try = bps[bp] - t;
+      if (t + h_try > t_end) h_try = t_end - t;
+      if (h_try <= eps) break;  // float guard at the very end of the run
+
+      const double t_new = t + h_try;
+      if (!solver.solve(t_new, h_try)) {
+        solver.v = v_state;
+        solver.v_prev = v_state;
+        solver.branch = b_state;
+        CNFET_REQUIRE_MSG(h_try > tstep / 4096,
+                          "transient Newton failed to converge");
+        h = h_try / 2.0;  // may dip below h_min; growth recovers after
+        continue;
+      }
+
+      // Local truncation error: distance from the linear prediction out of
+      // the previous step (the BE embedded estimate, halved).
+      double err = 0.0;
+      for (int n = 1; n < num_nodes; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        err = std::max(err, std::fabs(solver.v[ni] -
+                                      (v_state[ni] + h_try * v_dot[ni])));
+      }
+      err *= 0.5;
+      if (err > options_.ltol && h_try > h_min + eps) {
+        solver.v = v_state;
+        solver.v_prev = v_state;
+        solver.branch = b_state;
+        h = std::max(h_min, h_try * std::clamp(0.9 * std::sqrt(options_.ltol /
+                                                               err),
+                                               0.25, 0.9));
+        continue;
+      }
+
+      // Accept: emit every output sample inside (t, t_new].
+      while (k_out < steps &&
+             static_cast<double>(k_out) * tstep <= t_new + eps) {
+        const double f = (static_cast<double>(k_out) * tstep - t) / h_try;
+        for (int n = 0; n < num_nodes; ++n) {
+          const auto ni = static_cast<std::size_t>(n);
+          if (record[ni]) {
+            node_samples[ni].push_back(v_state[ni] +
+                                       f * (solver.v[ni] - v_state[ni]));
+          }
+        }
+        for (int s = 0; s < num_src; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          source_samples[si].push_back(
+              -(b_state[si] + f * (solver.branch[si] - b_state[si])));
+        }
+        ++k_out;
+      }
+      for (int n = 1; n < num_nodes; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        v_dot[ni] = (solver.v[ni] - v_state[ni]) / h_try;
+      }
+      v_state = solver.v;
+      b_state = solver.branch;
+      solver.v_prev = solver.v;
+      t = t_new;
+      const double grow =
+          err > 1e-15 ? std::clamp(0.9 * std::sqrt(options_.ltol / err), 0.5,
+                                   2.0)
+                      : 2.0;
+      h = h_try * grow;
     }
   }
 
   node_waves_.reserve(node_samples.size());
   for (auto& s : node_samples) {
-    node_waves_.emplace_back(options_.tstep, std::move(s));
+    node_waves_.emplace_back(tstep, std::move(s));
   }
   source_waves_.reserve(source_samples.size());
   for (auto& s : source_samples) {
-    source_waves_.emplace_back(options_.tstep, std::move(s));
+    source_waves_.emplace_back(tstep, std::move(s));
   }
 }
 
 const Waveform& Transient::v(int node) const {
   CNFET_REQUIRE(node >= 0 && node < circuit_.num_nodes());
-  return node_waves_[static_cast<std::size_t>(node)];
+  const auto& wave = node_waves_[static_cast<std::size_t>(node)];
+  CNFET_REQUIRE_MSG(wave.size() > 0,
+                    "node " + circuit_.node_name(node) +
+                        " was not in TransientOptions::record_nodes");
+  return wave;
 }
 
 const Waveform& Transient::source_current(int source_index) const {

@@ -1,0 +1,324 @@
+// Accuracy-equivalence and determinism contract of the fast transient
+// engine: the adaptive + analytic-Jacobian solve path must agree with the
+// seed fixed-step finite-difference engine (delays within 1%, supply
+// energies within 2%) on the paper's circuits, analytic device derivatives
+// must match finite differences, and parallel characterization must be
+// bit-identical to serial.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "device/models.hpp"
+#include "layout/cells.hpp"
+#include "liberty/library.hpp"
+#include "sim/transient.hpp"
+#include "util/error.hpp"
+
+namespace cnfet::sim {
+namespace {
+
+TransientOptions seed_engine() {
+  TransientOptions o;
+  o.tstep = 0.25e-12;
+  o.tstop = 400e-12;
+  o.adaptive = false;
+  o.analytic_jacobian = false;
+  return o;
+}
+
+TransientOptions fast_engine() {
+  TransientOptions o;
+  o.tstep = 0.25e-12;
+  o.tstop = 400e-12;
+  return o;  // adaptive + analytic are the defaults
+}
+
+void expect_close(double fast, double reference, double rel_tol,
+                  const std::string& what) {
+  EXPECT_NEAR(fast, reference, rel_tol * std::fabs(reference))
+      << what << ": fast " << fast << " vs reference " << reference;
+}
+
+/// CMOS NAND2 at transistor level (series NFETs doubled in width).
+void add_nand2(Circuit& ckt, int a, int b, int out, int vdd_node,
+               const std::string& tag) {
+  const auto nfet = device::mos_device(device::MosParams::nmos65(), 0.26);
+  const auto pfet = device::mos_device(device::MosParams::pmos65(), 0.182);
+  const int mid = ckt.add_node("mid_" + tag);
+  ckt.add_fet(Polarity::kP, a, out, vdd_node, pfet);
+  ckt.add_fet(Polarity::kP, b, out, vdd_node, pfet);
+  ckt.add_fet(Polarity::kN, a, out, mid, nfet);
+  ckt.add_fet(Polarity::kN, b, mid, Circuit::kGround, nfet);
+  ckt.add_capacitor(a, Circuit::kGround, nfet.c_gate + pfet.c_gate);
+  ckt.add_capacitor(b, Circuit::kGround, nfet.c_gate + pfet.c_gate);
+  ckt.add_capacitor(out, Circuit::kGround,
+                    nfet.c_drain / 2 + 2 * pfet.c_drain);
+  ckt.add_capacitor(mid, Circuit::kGround, nfet.c_drain);
+}
+
+TEST(FastEngine, AdaptiveMatchesFixedOnInverter) {
+  Circuit ckt;
+  const int vdd = ckt.add_node("vdd");
+  const int in = ckt.add_node("in");
+  const int out = ckt.add_node("out");
+  const int src = ckt.add_vsource(vdd, Circuit::kGround, Pwl(1.0));
+  (void)ckt.add_vsource(
+      in, Circuit::kGround,
+      Pwl::pulse(0.0, 1.0, 50e-12, 10e-12, 250e-12, 10e-12));
+  ckt.add_inverter(device::cmos_inverter(), in, out, vdd);
+  ckt.add_capacitor(out, Circuit::kGround, 2e-15);
+
+  const Transient fixed(ckt, seed_engine());
+  const Transient fast(ckt, fast_engine());
+  for (const bool rising : {true, false}) {
+    const double after = rising ? 40e-12 : 240e-12;
+    const double d_fixed =
+        propagation_delay(fixed.v(in), fixed.v(out), 1.0, rising, after);
+    const double d_fast =
+        propagation_delay(fast.v(in), fast.v(out), 1.0, rising, after);
+    expect_close(d_fast, d_fixed, 0.01,
+                 rising ? "INV rise delay" : "INV fall delay");
+  }
+  expect_close(fast.source_energy(src, 0, 400e-12),
+               fixed.source_energy(src, 0, 400e-12), 0.02, "INV energy");
+}
+
+TEST(FastEngine, AdaptiveMatchesFixedOnNand2) {
+  Circuit ckt;
+  const int vdd = ckt.add_node("vdd");
+  const int a = ckt.add_node("a");
+  const int b = ckt.add_node("b");
+  const int out = ckt.add_node("out");
+  const int src = ckt.add_vsource(vdd, Circuit::kGround, Pwl(1.0));
+  (void)ckt.add_vsource(
+      a, Circuit::kGround,
+      Pwl::pulse(0.0, 1.0, 50e-12, 10e-12, 250e-12, 10e-12));
+  (void)ckt.add_vsource(b, Circuit::kGround, Pwl(1.0));  // sensitized
+  add_nand2(ckt, a, b, out, vdd, "g0");
+  ckt.add_capacitor(out, Circuit::kGround, 4e-15);
+
+  const Transient fixed(ckt, seed_engine());
+  const Transient fast(ckt, fast_engine());
+  for (const bool rising : {true, false}) {
+    const double after = rising ? 40e-12 : 240e-12;
+    const double d_fixed =
+        propagation_delay(fixed.v(a), fixed.v(out), 1.0, rising, after);
+    const double d_fast =
+        propagation_delay(fast.v(a), fast.v(out), 1.0, rising, after);
+    expect_close(d_fast, d_fixed, 0.01,
+                 rising ? "NAND2 rise delay" : "NAND2 fall delay");
+  }
+  expect_close(fast.source_energy(src, 0, 400e-12),
+               fixed.source_energy(src, 0, 400e-12), 0.02, "NAND2 energy");
+}
+
+TEST(FastEngine, AdaptiveMatchesFixedOnNandFullAdder) {
+  // The paper's full adder as nine NAND2s. b = 1 and cin = 0 sensitize
+  // both outputs to a: sum = !a, cout = a.
+  Circuit ckt;
+  const int vdd = ckt.add_node("vdd");
+  const int a = ckt.add_node("a");
+  const int b = ckt.add_node("b");
+  const int cin = ckt.add_node("cin");
+  const int src = ckt.add_vsource(vdd, Circuit::kGround, Pwl(1.0));
+  (void)ckt.add_vsource(
+      a, Circuit::kGround,
+      Pwl::pulse(0.0, 1.0, 50e-12, 10e-12, 250e-12, 10e-12));
+  (void)ckt.add_vsource(b, Circuit::kGround, Pwl(1.0));
+  (void)ckt.add_vsource(cin, Circuit::kGround, Pwl(0.0));
+  const int n1 = ckt.add_node("n1");
+  const int n2 = ckt.add_node("n2");
+  const int n3 = ckt.add_node("n3");
+  const int n4 = ckt.add_node("n4");
+  const int n5 = ckt.add_node("n5");
+  const int n6 = ckt.add_node("n6");
+  const int n7 = ckt.add_node("n7");
+  const int sum = ckt.add_node("sum");
+  const int cout = ckt.add_node("cout");
+  add_nand2(ckt, a, b, n1, vdd, "g1");
+  add_nand2(ckt, a, n1, n2, vdd, "g2");
+  add_nand2(ckt, b, n1, n3, vdd, "g3");
+  add_nand2(ckt, n2, n3, n4, vdd, "g4");
+  add_nand2(ckt, n4, cin, n5, vdd, "g5");
+  add_nand2(ckt, n4, n5, n6, vdd, "g6");
+  add_nand2(ckt, cin, n5, n7, vdd, "g7");
+  add_nand2(ckt, n6, n7, sum, vdd, "g8");
+  add_nand2(ckt, n5, n1, cout, vdd, "g9");
+  ckt.add_capacitor(sum, Circuit::kGround, 2e-15);
+  ckt.add_capacitor(cout, Circuit::kGround, 2e-15);
+
+  const Transient fixed(ckt, seed_engine());
+  const Transient fast(ckt, fast_engine());
+  // sum = !a is an inverting path; cout = a is non-inverting, so measure
+  // its 50%-crossing in the same direction as the input edge.
+  auto delay_to = [](const Transient& tran, int in_node, int out_node,
+                     bool in_rising, bool out_rising, double after) {
+    const double t_in = tran.v(in_node).cross(0.5, in_rising, after);
+    EXPECT_GE(t_in, 0.0);
+    const double t_out = tran.v(out_node).cross(0.5, out_rising, t_in);
+    EXPECT_GE(t_out, 0.0);
+    return t_out - t_in;
+  };
+  for (const int observed : {sum, cout}) {
+    const bool inverting = observed == sum;
+    for (const bool rising : {true, false}) {
+      const double after = rising ? 40e-12 : 240e-12;
+      const bool out_rising = inverting ? !rising : rising;
+      const double d_fixed =
+          delay_to(fixed, a, observed, rising, out_rising, after);
+      const double d_fast =
+          delay_to(fast, a, observed, rising, out_rising, after);
+      expect_close(d_fast, d_fixed, 0.01,
+                   std::string("full-adder delay to ") +
+                       (inverting ? "sum" : "cout"));
+    }
+  }
+  expect_close(fast.source_energy(src, 0, 400e-12),
+               fixed.source_energy(src, 0, 400e-12), 0.02,
+               "full-adder energy");
+}
+
+TEST(FastEngine, AnalyticJacobianMatchesFiniteDifference) {
+  const Circuit::Fet devices[] = {
+      {Polarity::kN, 0, 0, 0,
+       device::mos_device(device::MosParams::nmos65(), 0.13)},
+      {Polarity::kP, 0, 0, 0,
+       device::mos_device(device::MosParams::pmos65(), 0.182)},
+      {Polarity::kN, 0, 0, 0,
+       device::cnfet_device(device::CnfetParams{}, 13, 65.0)},
+      {Polarity::kP, 0, 0, 0,
+       device::cnfet_device(device::CnfetParams{}, 13, 65.0)},
+  };
+  constexpr double dx = 1e-7;
+  for (const auto& fet : devices) {
+    ASSERT_TRUE(fet.model.ids_grad != nullptr);
+    // Grid values chosen so no mirrored vgs lands on a device threshold
+    // (0.30 / 0.32), where the model has a genuine C0 kink and one-sided
+    // finite differences disagree with the analytic one-sided derivative.
+    for (const double vg : {0.0, 0.25, 0.5, 0.8, 1.0}) {
+      for (const double vd : {0.05, 0.35, 0.72, 1.0}) {
+        for (const double vs : {0.0, 0.15, 0.6}) {
+          if (std::fabs(vd - vs) < 0.02) continue;  // conduction-flip kink
+          const auto g = fet_current_grad(fet, vg, vd, vs);
+          EXPECT_DOUBLE_EQ(g.i, fet_current(fet, vg, vd, vs));
+          const double fd_g = (fet_current(fet, vg + dx, vd, vs) -
+                               fet_current(fet, vg - dx, vd, vs)) /
+                              (2 * dx);
+          const double fd_d = (fet_current(fet, vg, vd + dx, vs) -
+                               fet_current(fet, vg, vd - dx, vs)) /
+                              (2 * dx);
+          const double fd_s = (fet_current(fet, vg, vd, vs + dx) -
+                               fet_current(fet, vg, vd, vs - dx)) /
+                              (2 * dx);
+          const double tol = 1e-3 * std::max({std::fabs(fd_g), std::fabs(fd_d),
+                                              std::fabs(fd_s), 1e-6});
+          EXPECT_NEAR(g.di_dvg, fd_g, tol)
+              << "vg=" << vg << " vd=" << vd << " vs=" << vs;
+          EXPECT_NEAR(g.di_dvd, fd_d, tol)
+              << "vg=" << vg << " vd=" << vd << " vs=" << vs;
+          EXPECT_NEAR(g.di_dvs, fd_s, tol)
+              << "vg=" << vg << " vd=" << vd << " vs=" << vs;
+        }
+      }
+    }
+  }
+}
+
+TEST(FastEngine, RecordNodesRestrictsWaveforms) {
+  Circuit ckt;
+  const int a = ckt.add_node("a");
+  const int b = ckt.add_node("b");
+  (void)ckt.add_vsource(a, Circuit::kGround,
+                        Pwl::pulse(0.0, 1.0, 10e-12, 1e-12, 400e-12, 1e-12));
+  ckt.add_resistor(a, b, 1e3);
+  ckt.add_capacitor(b, Circuit::kGround, 10e-15);
+  TransientOptions options;
+  options.tstep = 0.1e-12;
+  options.tstop = 50e-12;
+  options.record_nodes = {b};
+  const Transient tran(ckt, options);
+  EXPECT_GT(tran.v(b).size(), 0u);
+  EXPECT_THROW((void)tran.v(a), util::Error);
+  EXPECT_GT(tran.source_current(0).size(), 0u);  // sources always recorded
+}
+
+TEST(FastEngine, WaveformCrossHonoursAfterWithLateStart) {
+  // Zig-zag: crossings of 0.5 rising at t = 0.5 and t = 2.5.
+  const Waveform w(1.0, {0.0, 1.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(w.cross(0.5, true, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(w.cross(0.5, true, 1.5), 2.5);
+  // `after` gates the sample endpoint (seed semantics): the interval
+  // ending at t=3 still counts even though the interpolated time is 2.5.
+  EXPECT_DOUBLE_EQ(w.cross(0.5, true, 2.6), 2.5);
+  EXPECT_DOUBLE_EQ(w.cross(0.5, true, 3.5), -1.0);
+  EXPECT_DOUBLE_EQ(w.cross(0.5, true, 50.0), -1.0);
+}
+
+}  // namespace
+}  // namespace cnfet::sim
+
+namespace cnfet::liberty {
+namespace {
+
+CharacterizeOptions engine_options(bool fast, int num_threads) {
+  CharacterizeOptions o;
+  o.transient.adaptive = fast;
+  o.transient.analytic_jacobian = fast;
+  o.num_threads = num_threads;
+  return o;
+}
+
+TEST(FastEngine, MeasureArcFastMatchesSeedEngine) {
+  const auto built = layout::build_cell(layout::find_cell_spec("NAND2"));
+  const auto seed = engine_options(false, 1);
+  const auto fast = engine_options(true, 1);
+  double cycle_seed = 0.0;
+  double cycle_fast = 0.0;
+  for (const bool rising : {true, false}) {
+    // Input 0 sensitized with input 1 high.
+    const auto m_seed =
+        measure_arc(built.netlist, 0, 0b10, rising, 20e-12, 6e-15, seed);
+    const auto m_fast =
+        measure_arc(built.netlist, 0, 0b10, rising, 20e-12, 6e-15, fast);
+    EXPECT_NEAR(m_fast.delay, m_seed.delay, 0.01 * m_seed.delay);
+    EXPECT_NEAR(m_fast.out_slew, m_seed.out_slew, 0.02 * m_seed.out_slew);
+    cycle_seed += m_seed.energy;
+    cycle_fast += m_fast.energy;
+  }
+  // Energy contract on the per-cycle total (rise + fall): the half-cycle
+  // where the supply only feeds short-circuit current is ~1% of the total
+  // and a relative bound on it alone would compare noise against noise.
+  EXPECT_NEAR(cycle_fast, cycle_seed, 0.02 * std::fabs(cycle_seed));
+}
+
+TEST(FastEngine, ParallelCharacterizationBitStable) {
+  const auto spec = layout::find_cell_spec("NAND2");
+  const auto serial = characterize_cell(spec, 1.0, engine_options(true, 1));
+  const auto parallel = characterize_cell(spec, 1.0, engine_options(true, 4));
+  ASSERT_EQ(serial.arcs.size(), parallel.arcs.size());
+  EXPECT_EQ(serial.name, parallel.name);
+  EXPECT_EQ(serial.area_lambda2, parallel.area_lambda2);
+  ASSERT_EQ(serial.input_cap.size(), parallel.input_cap.size());
+  for (std::size_t i = 0; i < serial.input_cap.size(); ++i) {
+    EXPECT_EQ(serial.input_cap[i], parallel.input_cap[i]);
+  }
+  for (std::size_t k = 0; k < serial.arcs.size(); ++k) {
+    const auto& s = serial.arcs[k];
+    const auto& p = parallel.arcs[k];
+    EXPECT_EQ(s.input, p.input);
+    EXPECT_EQ(s.out_rising, p.out_rising);
+    for (std::size_t si = 0; si < s.delay.slews().size(); ++si) {
+      for (std::size_t li = 0; li < s.delay.loads().size(); ++li) {
+        // Bitwise equality: the parallel grid writes by index, so thread
+        // count must not perturb a single ulp.
+        EXPECT_EQ(s.delay.at(si, li), p.delay.at(si, li));
+        EXPECT_EQ(s.out_slew.at(si, li), p.out_slew.at(si, li));
+        EXPECT_EQ(s.energy.at(si, li), p.energy.at(si, li));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnfet::liberty
