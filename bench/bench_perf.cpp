@@ -1,13 +1,16 @@
 // E8 — performance harness: times the solver hot paths (single-arc
 // transient, cold library characterization) under the seed engine
 // (fixed-step, finite-difference Jacobian) vs the fast engine (adaptive,
-// analytic Jacobian), the parallel characterization grid, and the two
-// parallel-subsystem paths from PR 2 (cnt::monte_carlo trial sharding,
-// api::run_batch job fan-out). Verifies the fast engine stays inside the
-// accuracy-equivalence contract (delays within 1%, per-cycle energies
-// within 2% of the seed engine) and that parallel results are identical
-// to serial, then writes everything to BENCH_perf.json so the perf
-// trajectory is machine-readable (scripts/check_perf.py gates on it).
+// analytic Jacobian), the parallel characterization grid, the incremental
+// timing graph (single-gate edit re-time vs full rebuild on the paper's
+// buffered full adder, with a bit-for-bit equivalence check and a 10x
+// floor), and the two parallel-subsystem paths from PR 2
+// (cnt::monte_carlo trial sharding, api::run_batch job fan-out).
+// Verifies the fast engine stays inside the accuracy-equivalence contract
+// (delays within 1%, per-cycle energies within 2% of the seed engine) and
+// that parallel results are identical to serial, then writes everything
+// to BENCH_perf.json so the perf trajectory is machine-readable
+// (scripts/check_perf.py gates on it).
 //
 //   $ ./bench_perf            # ~15 s; writes ./BENCH_perf.json
 #include <algorithm>
@@ -20,6 +23,7 @@
 #include "cnt/analyzer.hpp"
 #include "layout/cells.hpp"
 #include "liberty/library.hpp"
+#include "sta/timing_graph.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -186,8 +190,49 @@ int main() {
 
   // Warm the per-tech library cache so run_batch timings measure the
   // pipeline, not one-time characterization.
-  (void)api::LibraryCache::global().get(layout::Tech::kCnfet65);
+  const auto cnfet_lib =
+      api::LibraryCache::global().get(layout::Tech::kCnfet65).value();
   (void)api::LibraryCache::global().get(layout::Tech::kCmos65);
+
+  // --- timing graph: full rebuild vs incremental re-time ------------------
+  // The paper's drawn full adder (9 NAND2 + sum/carry buffer pairs). One
+  // sizing edit — the final sum buffer swapped between drives — against a
+  // from-scratch TimingGraph build, which is what every what-if paid
+  // before the incremental graph existed.
+  flow::FullAdderOptions paper_sizing;
+  paper_sizing.sum_buffer_drive = 9.0;
+  paper_sizing.carry_buffer_drive = 7.0;
+  auto adder = flow::build_full_adder(*cnfet_lib, paper_sizing);
+  const auto* inv7 = &cnfet_lib->find("INV_7X");
+  const auto* inv9 = &cnfet_lib->find("INV_9X");
+  const int sum_gate = adder.driver_index(adder.outputs()[0]);
+  constexpr int kFullReps = 2000;
+  constexpr int kEditReps = 20000;
+  const double tg_full_ms = best_ms(5, [&] {
+                              for (int i = 0; i < kFullReps; ++i) {
+                                sta::TimingGraph fresh(adder);
+                                (void)fresh.worst_arrival();
+                              }
+                            }) /
+                            kFullReps;
+  sta::TimingGraph graph(adder);
+  (void)graph.worst_arrival();
+  const double tg_incr_ms = best_ms(5, [&] {
+                              for (int i = 0; i < kEditReps; ++i) {
+                                adder.resize_gate(sum_gate,
+                                                  (i & 1) ? inv7 : inv9);
+                                graph.on_gate_replaced(sum_gate);
+                                (void)graph.worst_arrival();
+                              }
+                            }) /
+                            kEditReps;
+  const bool tg_identical = graph.matches_full_rebuild();
+  const double tg_speedup = tg_incr_ms > 0.0 ? tg_full_ms / tg_incr_ms : 0.0;
+  const bool tg_ok = tg_identical && tg_speedup >= 10.0;
+  std::printf("timing_graph full rebuild %8.2f us | incremental edit %8.2f us "
+              "| speedup %.2fx | incremental==full: %s\n",
+              tg_full_ms * 1e3, tg_incr_ms * 1e3, tg_speedup,
+              tg_identical ? "yes" : "NO");
 
   // --- Monte Carlo: trials shard across workers ---------------------------
   constexpr int kTrials = 6000;
@@ -270,6 +315,14 @@ int main() {
                "    \"energy_rel_err\": %.5f,\n"
                "    \"parallel_identical\": %s\n"
                "  },\n"
+               "  \"timing_graph\": {\n"
+               "    \"circuit\": \"full_adder_9nand_buffered\",\n"
+               "    \"gates\": %zu,\n"
+               "    \"full_rebuild_us\": %.4f,\n"
+               "    \"incremental_edit_us\": %.4f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"identical\": %s\n"
+               "  },\n"
                "  \"monte_carlo\": {\n"
                "    \"cell\": \"NAND3\",\n"
                "    \"trials\": %d,\n"
@@ -293,7 +346,9 @@ int main() {
                lib_seed.cells().size(), char_seed_ms, char_fast_ms,
                char_speedup, char_par_ms, char_par_speedup, char_delay_err,
                char_delay_abs * 1e12, char_delay_ok ? "true" : "false",
-               char_energy_err, char_identical ? "true" : "false", kTrials,
+               char_energy_err, char_identical ? "true" : "false",
+               adder.gates().size(), tg_full_ms * 1e3, tg_incr_ms * 1e3,
+               tg_speedup, tg_identical ? "true" : "false", kTrials,
                mc.serial_ms, mc.parallel_ms, mc.speedup(),
                1000.0 * kTrials / mc.serial_ms,
                1000.0 * kTrials / mc.parallel_ms,
@@ -305,5 +360,8 @@ int main() {
 
   // Equivalence and accuracy are hard requirements; speedup depends on the
   // host's cores (scripts/check_perf.py gates the speedups separately).
-  return (mc.identical && batch.identical && tran_ok && char_ok) ? 0 : 1;
+  // The timing-graph incremental==full equivalence and its 10x floor are
+  // in-run ratios, so they gate here too.
+  return (mc.identical && batch.identical && tran_ok && char_ok && tg_ok) ? 0
+                                                                          : 1;
 }

@@ -51,6 +51,13 @@ int main() {
   }
   std::printf("\n");
 
+  // Optimization is off by default; the stage passes through and keeps
+  // the timed netlist untouched (set FlowOptions::optimize to enable the
+  // sizing/buffering passes).
+  if (!flow.optimize().ok()) return 1;
+  std::printf("optimize: %s\n",
+              flow.optimized()->enabled ? "ran" : "pass-through");
+
   if (!flow.place().ok()) return 1;
   const auto* placed = flow.placed();
   std::printf("scheme-2 placement: %.0f lambda^2, utilization %.1f%%, "

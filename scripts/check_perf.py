@@ -22,6 +22,9 @@ import sys
 REGRESSION_ALLOWANCE = 1.25  # >25% latency regression vs baseline fails
 FLOOR_TRANSIENT = 3.0
 FLOOR_CHARACTERIZATION = 5.0
+# Acceptance floor: incremental re-time after a single-gate edit of the
+# full adder must stay >= 10x faster than a full TimingGraph rebuild.
+FLOOR_TIMING_GRAPH = 10.0
 
 
 def fail(msg: str) -> None:
@@ -41,6 +44,7 @@ def main() -> int:
 
     tran = bench["transient_single_arc"]
     char = bench["characterization"]
+    tgraph = bench["timing_graph"]
 
     checks = [
         ("single-arc transient speedup", tran["speedup"],
@@ -49,6 +53,9 @@ def main() -> int:
         ("characterization serial speedup", char["serial_speedup"],
          max(baseline["characterization_serial_speedup"] /
              REGRESSION_ALLOWANCE, FLOOR_CHARACTERIZATION)),
+        ("timing-graph incremental speedup", tgraph["speedup"],
+         max(baseline["timing_graph_incremental_speedup"] /
+             REGRESSION_ALLOWANCE, FLOOR_TIMING_GRAPH)),
     ]
     for name, actual, minimum in checks:
         status = "ok" if actual >= minimum else "REGRESSED"
@@ -61,6 +68,7 @@ def main() -> int:
         ("transient_single_arc", "within_tolerance"),
         ("characterization", "delay_within_bounds"),
         ("characterization", "parallel_identical"),
+        ("timing_graph", "identical"),
         ("monte_carlo", "identical"),
         ("run_batch", "identical"),
     ]:

@@ -57,6 +57,8 @@ const char* to_string(Stage stage) {
       return "mapped";
     case Stage::kTimed:
       return "timed";
+    case Stage::kOptimized:
+      return "optimized";
     case Stage::kPlaced:
       return "placed";
     case Stage::kSignedOff:
@@ -168,6 +170,8 @@ util::Result<Stage> Flow::map() {
         flow::MapOptions mopt;
         mopt.drive = options_.drive;
         mopt.output_drive = options_.output_drive;
+        mopt.cost = options_.map_cost;
+        mopt.input_slew = options_.sta.input_slew;
         MappedArtifact artifact;
         artifact.map = flow::map_expressions(spec_outputs_, spec_inputs_,
                                              *library_, mopt);
@@ -221,9 +225,62 @@ util::Result<Stage> Flow::time() {
                  });
 }
 
+util::Result<Stage> Flow::optimize() {
+  return advance(
+      Stage::kTimed, Stage::kOptimized, "optimize",
+      [&]() -> std::optional<util::Diagnostic> {
+        OptimizedArtifact artifact;
+        if (!options_.optimize) {
+          artifact.enabled = false;
+          artifact.timing = timed_->timing;
+          diags_.info("optimize", "optimization disabled, stage passes through");
+        } else {
+          opt::OptOptions oopt;
+          oopt.sta = options_.sta;
+          oopt.target_delay = options_.target_delay;
+          oopt.max_area_growth = options_.max_area_growth;
+          artifact.enabled = true;
+          // The passes run on a copy that is committed only on success: a
+          // throwing pass (e.g. the function-equivalence guard) must leave
+          // the kTimed flow's netlist untouched, or a retry would snapshot
+          // corrupted edits as its baseline.
+          flow::GateNetlist working = mapped_->map.netlist;
+          artifact.stats =
+              opt::optimize(working, *library_, oopt, &artifact.timing);
+          mapped_->map.netlist = std::move(working);
+          if (!artifact.stats.function_verified) {
+            diags_.warning(
+                "optimize",
+                "too many inputs for the exhaustive function recheck (" +
+                    std::to_string(mapped_->map.netlist.inputs().size()) +
+                    " > 16); optimized netlist not re-verified");
+          }
+          // The passes change the gate population; refresh the tally the
+          // metrics report.
+          mapped_->map.nand_count = 0;
+          mapped_->map.nor_count = 0;
+          mapped_->map.inv_count = 0;
+          tally_gates(mapped_->map.netlist, &mapped_->map);
+          diags_.info(
+              "optimize",
+              std::to_string(artifact.stats.gates_resized) + " resized, " +
+                  std::to_string(artifact.stats.buffers_inserted) +
+                  " buffer gates, " +
+                  std::to_string(artifact.stats.gates_removed) +
+                  " removed; worst arrival " +
+                  util::fmt_si(artifact.stats.delay_before, "s") + " -> " +
+                  util::fmt_si(artifact.stats.delay_after, "s") + ", area " +
+                  util::fmt_percent(artifact.stats.area_growth(), 1) +
+                  " growth");
+        }
+        optimized_ = std::move(artifact);
+        return std::nullopt;
+      });
+}
+
 util::Result<Stage> Flow::place() {
   return advance(
-      Stage::kTimed, Stage::kPlaced, "place",
+      Stage::kOptimized, Stage::kPlaced, "place",
       [&]() -> std::optional<util::Diagnostic> {
         PlacedArtifact artifact;
         artifact.placement = flow::place(mapped_->map.netlist, options_.place);
@@ -316,6 +373,8 @@ util::Result<Stage> Flow::run(Stage target) {
         case Stage::kMapped:
           return time();
         case Stage::kTimed:
+          return optimize();
+        case Stage::kOptimized:
           return place();
         case Stage::kPlaced:
           return sign_off();
@@ -379,6 +438,18 @@ FlowMetrics Flow::metrics() const {
     m.worst_arrival_s = timed_->timing.worst_arrival;
     m.energy_per_cycle_j = timed_->timing.energy_per_cycle;
     m.edp_js = timed_->edp_js();
+  }
+  if (optimized_ && optimized_->enabled) {
+    m.optimized = true;
+    m.pre_opt_worst_arrival_s = optimized_->stats.delay_before;
+    m.gates_resized = optimized_->stats.gates_resized;
+    m.buffers_inserted = optimized_->stats.buffers_inserted;
+    m.gates_removed = optimized_->stats.gates_removed;
+    m.opt_area_growth = optimized_->stats.area_growth();
+    // The timed fields report the netlist that places and signs off.
+    m.worst_arrival_s = optimized_->timing.worst_arrival;
+    m.energy_per_cycle_j = optimized_->timing.energy_per_cycle;
+    m.edp_js = optimized_->edp_js();
   }
   if (placed_) {
     m.placed_area_lambda2 = placed_->placement.placed_area_lambda2;

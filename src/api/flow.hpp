@@ -3,8 +3,11 @@
 //
 // A Flow advances through the stages
 //
-//     Created -> Mapped -> Timed -> Placed -> SignedOff -> Exported
+//     Created -> Mapped -> Timed -> Optimized -> Placed -> SignedOff
+//             -> Exported
 //
+// (Optimized runs the opt:: sizing/buffering/cleanup passes when
+// FlowOptions::optimize is set, and passes through untouched otherwise.)
 // where each advance produces a typed artifact (MappedArtifact,
 // TimedArtifact, ...) and appends structured Diagnostics (severity, stage,
 // message). Every fallible public call returns util::Result<T>; exceptions
@@ -25,6 +28,7 @@
 #include "flow/mapper.hpp"
 #include "flow/placer.hpp"
 #include "gds/gds.hpp"
+#include "opt/opt.hpp"
 #include "sta/sta.hpp"
 #include "util/result.hpp"
 
@@ -35,6 +39,7 @@ enum class Stage {
   kCreated,
   kMapped,
   kTimed,
+  kOptimized,
   kPlaced,
   kSignedOff,
   kExported,
@@ -58,6 +63,20 @@ struct FlowOptions {
   /// Exhaustively verify the mapping against the specification (<= 16
   /// inputs; wider designs downgrade to a warning diagnostic).
   bool verify = true;
+  /// Covering objective for map(): gate count (the paper-reproduction
+  /// default) or NLDM-estimated delay (flow::MapCost::kDelay).
+  flow::MapCost map_cost = flow::MapCost::kGateCount;
+  /// Run the opt:: passes (cleanup, critical-path sizing, buffer
+  /// insertion) in the Optimized stage. Off by default — the
+  /// paper-reproduction benches time the drawn netlist exactly as built,
+  /// and the stage passes through untouched.
+  bool optimize = false;
+  /// Optimization stops once the worst arrival meets this (s); 0 = keep
+  /// improving while the area budget allows.
+  double target_delay = 0.0;
+  /// Area-growth bound for the opt:: passes, as a fraction of the mapped
+  /// netlist's cell area.
+  double max_area_growth = 0.25;
   sta::StaOptions sta;
   flow::PlaceOptions place;
   drc::DrcOptions drc;
@@ -79,6 +98,18 @@ struct MappedArtifact {
 /// Stage artifact: static timing and the energy/cycle rollup.
 struct TimedArtifact {
   sta::StaResult timing;
+  [[nodiscard]] double edp_js() const {
+    return timing.worst_arrival * timing.energy_per_cycle;
+  }
+};
+
+/// Stage artifact: what the opt:: passes did. With FlowOptions::optimize
+/// false the stage passes through: `enabled` is false, `timing` repeats
+/// the Timed artifact, and the netlist is untouched.
+struct OptimizedArtifact {
+  bool enabled = false;
+  opt::PassStats stats;
+  sta::StaResult timing;  ///< post-optimization timing
   [[nodiscard]] double edp_js() const {
     return timing.worst_arrival * timing.energy_per_cycle;
   }
@@ -127,10 +158,17 @@ struct FlowMetrics {
   // Mapped
   int gates = 0, nand2 = 0, nor2 = 0, inv = 0;
   bool verified = false;
-  // Timed
+  // Timed (post-optimization values once that stage has run enabled)
   double worst_arrival_s = 0.0;
   double energy_per_cycle_j = 0.0;
   double edp_js = 0.0;
+  // Optimized
+  bool optimized = false;
+  double pre_opt_worst_arrival_s = 0.0;
+  int gates_resized = 0;
+  int buffers_inserted = 0;
+  int gates_removed = 0;
+  double opt_area_growth = 0.0;
   // Placed
   double placed_area_lambda2 = 0.0;
   double utilization = 0.0;
@@ -181,6 +219,7 @@ class Flow {
   /// Diagnostic (also recorded in diagnostics()) with the stage unchanged.
   util::Result<Stage> map();
   util::Result<Stage> time();
+  util::Result<Stage> optimize();
   util::Result<Stage> place();
   util::Result<Stage> sign_off();
   util::Result<Stage> export_design();
@@ -195,6 +234,9 @@ class Flow {
   }
   [[nodiscard]] const TimedArtifact* timed() const {
     return timed_ ? &*timed_ : nullptr;
+  }
+  [[nodiscard]] const OptimizedArtifact* optimized() const {
+    return optimized_ ? &*optimized_ : nullptr;
   }
   [[nodiscard]] const PlacedArtifact* placed() const {
     return placed_ ? &*placed_ : nullptr;
@@ -237,6 +279,7 @@ class Flow {
 
   std::optional<MappedArtifact> mapped_;
   std::optional<TimedArtifact> timed_;
+  std::optional<OptimizedArtifact> optimized_;
   std::optional<PlacedArtifact> placed_;
   std::optional<SignOffArtifact> signoff_;
   std::optional<ExportedArtifact> exported_;

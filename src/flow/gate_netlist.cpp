@@ -1,6 +1,6 @@
 #include "flow/gate_netlist.hpp"
 
-#include <map>
+#include <algorithm>
 
 #include "util/error.hpp"
 
@@ -8,6 +8,10 @@ namespace cnfet::flow {
 
 int GateNetlist::add_net(const std::string& name) {
   net_names_.push_back(name);
+  if (adjacency_valid_) {
+    driver_of_.push_back(-1);
+    fanout_.emplace_back();
+  }
   return num_nets() - 1;
 }
 
@@ -32,6 +36,21 @@ void GateNetlist::add_gate(Gate gate) {
                 gate.cell->built.netlist.num_inputs());
   for (const int n : gate.inputs) CNFET_REQUIRE(n >= 0 && n < num_nets());
   CNFET_REQUIRE(gate.output >= 0 && gate.output < num_nets());
+  const int index = static_cast<int>(gates_.size());
+  if (adjacency_valid_) {
+    CNFET_REQUIRE_MSG(driver_of_[static_cast<std::size_t>(gate.output)] < 0,
+                      "multiple drivers on net " + net_name(gate.output));
+    driver_of_[static_cast<std::size_t>(gate.output)] = index;
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      // Appending keeps each net's fanout ascending by (gate, pin): this
+      // gate's index is the largest so far.
+      fanout_[static_cast<std::size_t>(gate.inputs[pin])].emplace_back(
+          index, static_cast<int>(pin));
+    }
+  }
+  // The new gate may drive a net that earlier gates already read, so the
+  // cached topological order cannot simply be appended to.
+  topo_valid_ = false;
   gates_.push_back(std::move(gate));
 }
 
@@ -43,64 +62,152 @@ void GateNetlist::replace_gate(int index, Gate gate) {
   for (const int n : gate.inputs) CNFET_REQUIRE(n >= 0 && n < num_nets());
   CNFET_REQUIRE_MSG(gate.output == gates_[static_cast<std::size_t>(index)].output,
                     "replace_gate must keep the same output net");
+  // A resize (same pins, different cell) touches no connectivity; only a
+  // replacement that rewires inputs invalidates the caches.
+  if (gate.inputs != gates_[static_cast<std::size_t>(index)].inputs) {
+    adjacency_valid_ = false;
+    topo_valid_ = false;
+  }
   gates_[static_cast<std::size_t>(index)] = std::move(gate);
 }
 
-std::vector<const Gate*> GateNetlist::topological_order() const {
-  std::map<int, const Gate*> driver_of;
-  for (const auto& g : gates_) {
-    CNFET_REQUIRE_MSG(driver_of.find(g.output) == driver_of.end(),
-                      "multiple drivers on net " + net_name(g.output));
-    driver_of[g.output] = &g;
-  }
-  std::vector<const Gate*> order;
-  std::map<const Gate*, int> state;  // 0 new, 1 visiting, 2 done
-  std::vector<const Gate*> stack;
+void GateNetlist::resize_gate(int index, const liberty::LibCell* cell) {
+  CNFET_REQUIRE(index >= 0 && index < static_cast<int>(gates_.size()));
+  CNFET_REQUIRE(cell != nullptr);
+  auto& gate = gates_[static_cast<std::size_t>(index)];
+  CNFET_REQUIRE(static_cast<int>(gate.inputs.size()) ==
+                cell->built.netlist.num_inputs());
+  gate.cell = cell;
+}
 
-  auto visit = [&](const Gate* g, auto&& self) -> void {
-    if (state[g] == 2) return;
-    CNFET_REQUIRE_MSG(state[g] != 1, "combinational cycle");
-    state[g] = 1;
-    for (const int in : g->inputs) {
-      const auto it = driver_of.find(in);
-      if (it != driver_of.end()) self(it->second, self);
+void GateNetlist::set_gate_input(int gate_index, int pin, int net) {
+  CNFET_REQUIRE(gate_index >= 0 &&
+                gate_index < static_cast<int>(gates_.size()));
+  auto& gate = gates_[static_cast<std::size_t>(gate_index)];
+  CNFET_REQUIRE(pin >= 0 && pin < static_cast<int>(gate.inputs.size()));
+  CNFET_REQUIRE(net >= 0 && net < num_nets());
+  const int old_net = gate.inputs[static_cast<std::size_t>(pin)];
+  if (old_net == net) return;
+  gate.inputs[static_cast<std::size_t>(pin)] = net;
+  if (adjacency_valid_) {
+    auto& old_list = fanout_[static_cast<std::size_t>(old_net)];
+    old_list.erase(std::find(old_list.begin(), old_list.end(),
+                             std::make_pair(gate_index, pin)));
+    auto& new_list = fanout_[static_cast<std::size_t>(net)];
+    new_list.insert(std::upper_bound(new_list.begin(), new_list.end(),
+                                     std::make_pair(gate_index, pin)),
+                    {gate_index, pin});
+  }
+  topo_valid_ = false;
+}
+
+void GateNetlist::replace_output(int old_net, int new_net) {
+  CNFET_REQUIRE(new_net >= 0 && new_net < num_nets());
+  const auto it = std::find(outputs_.begin(), outputs_.end(), old_net);
+  CNFET_REQUIRE_MSG(it != outputs_.end(),
+                    "replace_output: " + net_name(old_net) +
+                        " is not a primary output");
+  *it = new_net;
+}
+
+void GateNetlist::remove_gates(const std::vector<bool>& keep) {
+  CNFET_REQUIRE(keep.size() == gates_.size());
+  std::vector<Gate> kept;
+  kept.reserve(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (keep[i]) kept.push_back(std::move(gates_[i]));
+  }
+  gates_ = std::move(kept);
+  adjacency_valid_ = false;
+  topo_valid_ = false;
+}
+
+void GateNetlist::ensure_adjacency() const {
+  if (adjacency_valid_) return;
+  driver_of_.assign(static_cast<std::size_t>(num_nets()), -1);
+  fanout_.assign(static_cast<std::size_t>(num_nets()), {});
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto& g = gates_[i];
+    CNFET_REQUIRE_MSG(driver_of_[static_cast<std::size_t>(g.output)] < 0,
+                      "multiple drivers on net " + net_name(g.output));
+    driver_of_[static_cast<std::size_t>(g.output)] = static_cast<int>(i);
+    for (std::size_t pin = 0; pin < g.inputs.size(); ++pin) {
+      fanout_[static_cast<std::size_t>(g.inputs[pin])].emplace_back(
+          static_cast<int>(i), static_cast<int>(pin));
     }
-    state[g] = 2;
-    order.push_back(g);
+  }
+  adjacency_valid_ = true;
+}
+
+void GateNetlist::ensure_topological() const {
+  if (topo_valid_) return;
+  ensure_adjacency();
+  topo_order_.clear();
+  topo_order_.reserve(gates_.size());
+  // 0 new, 1 visiting, 2 done.
+  std::vector<char> state(gates_.size(), 0);
+
+  auto visit = [&](int g, auto&& self) -> void {
+    if (state[static_cast<std::size_t>(g)] == 2) return;
+    CNFET_REQUIRE_MSG(state[static_cast<std::size_t>(g)] != 1,
+                      "combinational cycle");
+    state[static_cast<std::size_t>(g)] = 1;
+    for (const int in : gates_[static_cast<std::size_t>(g)].inputs) {
+      const int d = driver_of_[static_cast<std::size_t>(in)];
+      if (d >= 0) self(d, self);
+    }
+    state[static_cast<std::size_t>(g)] = 2;
+    topo_order_.push_back(g);
   };
-  for (const auto& g : gates_) visit(&g, visit);
+  for (int g = 0; g < static_cast<int>(gates_.size()); ++g) visit(g, visit);
+  topo_valid_ = true;
+}
+
+std::vector<const Gate*> GateNetlist::topological_order() const {
+  ensure_topological();
+  std::vector<const Gate*> order;
+  order.reserve(topo_order_.size());
+  for (const int g : topo_order_) {
+    order.push_back(&gates_[static_cast<std::size_t>(g)]);
+  }
   return order;
 }
 
 const Gate* GateNetlist::driver(int net) const {
-  for (const auto& g : gates_) {
-    if (g.output == net) return &g;
-  }
-  return nullptr;
+  const int index = driver_index(net);
+  return index < 0 ? nullptr : &gates_[static_cast<std::size_t>(index)];
+}
+
+int GateNetlist::driver_index(int net) const {
+  CNFET_REQUIRE(net >= 0 && net < num_nets());
+  ensure_adjacency();
+  return driver_of_[static_cast<std::size_t>(net)];
 }
 
 std::vector<const Gate*> GateNetlist::sinks(int net) const {
   std::vector<const Gate*> out;
-  for (const auto& g : gates_) {
-    for (const int in : g.inputs) {
-      if (in == net) {
-        out.push_back(&g);
-        break;
-      }
-    }
+  int last = -1;
+  for (const auto& [g, pin] : fanout(net)) {
+    if (g == last) continue;  // list one entry per gate, like the pre-cache scan
+    out.push_back(&gates_[static_cast<std::size_t>(g)]);
+    last = g;
   }
   return out;
+}
+
+const std::vector<std::pair<int, int>>& GateNetlist::fanout(int net) const {
+  CNFET_REQUIRE(net >= 0 && net < num_nets());
+  ensure_adjacency();
+  return fanout_[static_cast<std::size_t>(net)];
 }
 
 double GateNetlist::net_load(int net, double wire_cap_per_fanout,
                              double output_load) const {
   double load = 0.0;
-  for (const auto* g : sinks(net)) {
-    for (std::size_t pin = 0; pin < g->inputs.size(); ++pin) {
-      if (g->inputs[pin] == net) {
-        load += g->cell->input_cap[pin] + wire_cap_per_fanout;
-      }
-    }
+  for (const auto& [g, pin] : fanout(net)) {
+    load += gates_[static_cast<std::size_t>(g)]
+                .cell->input_cap[static_cast<std::size_t>(pin)] +
+            wire_cap_per_fanout;
   }
   for (const int po : outputs_) {
     if (po == net) load += output_load;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "liberty/library.hpp"
@@ -22,6 +23,12 @@ struct Gate {
   std::string name;
 };
 
+/// A gate netlist with cached connectivity: the net->driver table, the
+/// per-net fanout adjacency and the topological order are built once on
+/// demand and kept consistent across the cheap mutations (add_net,
+/// add_gate, pin-preserving replace_gate, set_gate_input), so the timing
+/// graph and the opt:: passes can hammer driver()/fanout()/net_load()
+/// without re-scanning every gate.
 class GateNetlist {
  public:
   [[nodiscard]] int add_net(const std::string& name);
@@ -41,17 +48,43 @@ class GateNetlist {
   /// Swaps out one gate (e.g. resizing a cell) with the same validation as
   /// add_gate plus the single-driver invariant: the replacement must keep
   /// driving the same output net. This is the only mutation of an existing
-  /// gate — handing out a mutable gates() vector would let callers silently
-  /// break driver/topological invariants.
+  /// gate's cell — handing out a mutable gates() vector would let callers
+  /// silently break driver/topological invariants. A replacement with the
+  /// same input nets (the resize case) keeps the connectivity caches warm.
   void replace_gate(int index, Gate gate);
+
+  /// Swaps one gate's cell in place, keeping name and pin connectivity —
+  /// the drive-change fast path the sizing pass hammers (no Gate copy, no
+  /// cache invalidation). The replacement cell must have the same pin
+  /// arity.
+  void resize_gate(int index, const liberty::LibCell* cell);
+
+  /// Rewires one input pin of an existing gate to a different net (how the
+  /// buffering pass moves sinks onto a buffered copy). Cycles introduced by
+  /// a bad rewire surface on the next topological_order().
+  void set_gate_input(int gate_index, int pin, int net);
+
+  /// Replaces the first primary-output entry `old_net` with `new_net`
+  /// (output buffering: the buffered copy becomes the port).
+  void replace_output(int old_net, int new_net);
+
+  /// Drops every gate whose keep flag is false (dead/duplicate cleanup).
+  /// Net ids are preserved — orphaned nets simply lose their driver —
+  /// but gate indices compact, so connectivity caches rebuild.
+  void remove_gates(const std::vector<bool>& keep);
 
   /// Gates in topological order (inputs before users); throws on cycles.
   [[nodiscard]] std::vector<const Gate*> topological_order() const;
 
   /// The gate driving a net, or nullptr for primary inputs.
   [[nodiscard]] const Gate* driver(int net) const;
-  /// Gates reading a net.
+  /// Index of the driving gate, or -1 for primary inputs / undriven nets.
+  [[nodiscard]] int driver_index(int net) const;
+  /// Gates reading a net (each gate listed once, even multi-pin readers).
   [[nodiscard]] std::vector<const Gate*> sinks(int net) const;
+  /// Every (gate index, pin) pair reading `net`, ascending by gate then
+  /// pin — the canonical order net_load() sums in.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& fanout(int net) const;
 
   /// Capacitive load on a net: sink pin caps + per-fanout wire capacitance.
   [[nodiscard]] double net_load(int net, double wire_cap_per_fanout,
@@ -62,10 +95,22 @@ class GateNetlist {
   [[nodiscard]] std::vector<bool> simulate(std::uint64_t input_row) const;
 
  private:
+  void ensure_adjacency() const;
+  void ensure_topological() const;
+
   std::vector<std::string> net_names_;
   std::vector<int> inputs_;
   std::vector<int> outputs_;
   std::vector<Gate> gates_;
+
+  // Connectivity caches, indexed by net id / gate index (never pointers:
+  // gates_ may reallocate). Rebuilt lazily after invalidating mutations and
+  // patched in place by the mutations that preserve them.
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<int> driver_of_;
+  mutable std::vector<std::vector<std::pair<int, int>>> fanout_;
+  mutable bool topo_valid_ = false;
+  mutable std::vector<int> topo_order_;
 };
 
 /// The paper's case-study-2 workload: a full adder from nine NAND2 gates

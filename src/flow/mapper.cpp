@@ -1,6 +1,7 @@
 #include "flow/mapper.hpp"
 
 #include <map>
+#include <memory>
 #include <tuple>
 
 #include "util/error.hpp"
@@ -79,18 +80,126 @@ class Aig {
   std::map<std::pair<int, int>, int> hash_;
 };
 
+/// (arrival, slew) at a cell output for the given fanin timing, under the
+/// same worst-over-pins-and-directions rule the timing graph applies.
+struct EstTiming {
+  double arrival = 0.0;
+  double slew = 20e-12;
+};
+
+EstTiming through_cell(const liberty::LibCell* cell,
+                       const std::vector<EstTiming>& fanin, double load) {
+  EstTiming out;
+  out.arrival = 0.0;
+  out.slew = fanin.empty() ? 0.0 : fanin.front().slew;
+  for (std::size_t pin = 0; pin < fanin.size(); ++pin) {
+    for (const bool rising : {true, false}) {
+      const auto& arc = cell->arc(static_cast<int>(pin), rising);
+      const double d = arc.delay.lookup(fanin[pin].slew, load);
+      if (fanin[pin].arrival + d > out.arrival) {
+        out.arrival = fanin[pin].arrival + d;
+        out.slew = arc.out_slew.lookup(fanin[pin].slew, load);
+      }
+    }
+  }
+  return out;
+}
+
+/// The kDelay covering DP: for every AIG literal, the best achievable
+/// (arrival, slew, gate count) and — for non-inverted AND nodes — whether
+/// NOR2 over complemented fanins beats NAND2+INV under the NLDM tables.
+/// Runs before emission so the Cover can realize the winning choice
+/// without speculative gates.
+class DelayDp {
+ public:
+  DelayDp(const Aig& aig, const liberty::LibCell* inv,
+          const liberty::LibCell* nand, const liberty::LibCell* nor,
+          double input_slew, double est_load)
+      : aig_(aig),
+        inv_(inv),
+        nand_(nand),
+        nor_(nor),
+        input_slew_(input_slew),
+        est_load_(est_load) {}
+
+  struct Val {
+    double arrival = 0.0;
+    double slew = 0.0;
+    int gates = 0;
+    bool use_nor = false;  ///< meaningful for non-inverted AND literals
+  };
+
+  const Val& eval(int literal) {
+    const auto it = memo_.find(literal);
+    if (it != memo_.end()) return it->second;
+
+    const auto& n = aig_.node(Aig::node_of(literal));
+    const bool neg = Aig::complemented(literal);
+    Val val;
+    if (n.var >= 0) {
+      if (!neg) {
+        val = Val{0.0, input_slew_, 0, false};
+      } else {
+        const Val& in = eval(literal ^ 1);
+        const auto t = through_cell(inv_, {{in.arrival, in.slew}}, est_load_);
+        val = Val{t.arrival, t.slew, in.gates + 1, false};
+      }
+    } else if (neg) {
+      // NOT(a AND b) == NAND2(a, b).
+      const Val& a = eval(n.a);
+      const Val& b = eval(n.b);
+      const auto t = through_cell(
+          nand_, {{a.arrival, a.slew}, {b.arrival, b.slew}}, est_load_);
+      val = Val{t.arrival, t.slew, a.gates + b.gates + 1, false};
+    } else {
+      // a AND b: NOR2 over complemented fanins vs NAND2 + INV. The NLDM
+      // arrival decides; gate count breaks exact ties (the gate-count mode's
+      // preference for NOR is kept on a full tie).
+      const Val& na = eval(n.a ^ 1);
+      const Val& nb = eval(n.b ^ 1);
+      const auto t_nor = through_cell(
+          nor_, {{na.arrival, na.slew}, {nb.arrival, nb.slew}}, est_load_);
+      const int g_nor = na.gates + nb.gates + 1;
+      const Val& inner = eval(literal ^ 1);
+      const auto t_inv =
+          through_cell(inv_, {{inner.arrival, inner.slew}}, est_load_);
+      const int g_inv = inner.gates + 1;
+      const bool nor_wins =
+          t_nor.arrival < t_inv.arrival ||
+          (t_nor.arrival == t_inv.arrival && g_nor <= g_inv);
+      val = nor_wins ? Val{t_nor.arrival, t_nor.slew, g_nor, true}
+                     : Val{t_inv.arrival, t_inv.slew, g_inv, false};
+    }
+    return memo_.emplace(literal, val).first->second;
+  }
+
+ private:
+  const Aig& aig_;
+  const liberty::LibCell* inv_;
+  const liberty::LibCell* nand_;
+  const liberty::LibCell* nor_;
+  double input_slew_;
+  double est_load_;
+  std::map<int, Val> memo_;
+};
+
 /// Phase-aware covering: produces the net computing a literal, emitting
 /// gates on demand and caching per-literal results.
 class Cover {
  public:
   Cover(const Aig& aig, GateNetlist& netlist, const liberty::Library& library,
-        const std::vector<int>& input_nets, double drive)
+        const std::vector<int>& input_nets, const MapOptions& options)
       : aig_(aig),
         netlist_(netlist),
         input_nets_(input_nets),
-        inv_(&library.find(suffixed("INV", drive, library))),
-        nand_(&library.find(suffixed("NAND2", drive, library))),
-        nor_(&library.find(suffixed("NOR2", drive, library))) {}
+        inv_(&library.find(suffixed("INV", options.drive, library))),
+        nand_(&library.find(suffixed("NAND2", options.drive, library))),
+        nor_(&library.find(suffixed("NOR2", options.drive, library))) {
+    if (options.cost == MapCost::kDelay) {
+      dp_ = std::make_unique<DelayDp>(aig, inv_, nand_, nor_,
+                                      options.input_slew, options.est_load);
+    }
+  }
 
   int nand_count = 0;
   int nor_count = 0;
@@ -120,13 +229,20 @@ class Cover {
       ++nand_count;
     } else {
       // a AND b == NOR2(NOT a, NOT b) — one gate over complemented fanins —
-      // versus NAND2 + INV. Choose by realized-cost lookahead: fanins that
+      // versus NAND2 + INV. In delay mode the NLDM DP already decided; in
+      // gate-count mode, choose by realized-cost lookahead: fanins that
       // already exist in the needed phase are free.
-      const int cost_nor = (net_of_.count(n.a ^ 1) ? 0 : 1) +
-                           (net_of_.count(n.b ^ 1) ? 0 : 1);
-      const int cost_nand =
-          1 + (net_of_.count(n.a) ? 0 : 1) + (net_of_.count(n.b) ? 0 : 1);
-      if (cost_nor <= cost_nand) {
+      bool use_nor;
+      if (dp_) {
+        use_nor = dp_->eval(literal).use_nor;
+      } else {
+        const int cost_nor = (net_of_.count(n.a ^ 1) ? 0 : 1) +
+                             (net_of_.count(n.b ^ 1) ? 0 : 1);
+        const int cost_nand =
+            1 + (net_of_.count(n.a) ? 0 : 1) + (net_of_.count(n.b) ? 0 : 1);
+        use_nor = cost_nor <= cost_nand;
+      }
+      if (use_nor) {
         net = emit(nor_, {realize(n.a ^ 1), realize(n.b ^ 1)}, "nor");
         ++nor_count;
       } else {
@@ -160,6 +276,7 @@ class Cover {
   const liberty::LibCell* inv_;
   const liberty::LibCell* nand_;
   const liberty::LibCell* nor_;
+  std::unique_ptr<DelayDp> dp_;  ///< set in kDelay mode only
   std::map<int, int> net_of_;
   int serial_ = 0;
 };
@@ -181,7 +298,7 @@ MapResult map_expressions(const std::vector<OutputSpec>& outputs,
   }
 
   Aig aig;
-  Cover cover(aig, result.netlist, library, input_nets, options.drive);
+  Cover cover(aig, result.netlist, library, input_nets, options);
   for (const auto& out : outputs) {
     CNFET_REQUIRE_MSG(out.expr.num_vars() <=
                           static_cast<int>(input_names.size()),
@@ -200,16 +317,13 @@ MapResult map_expressions(const std::vector<OutputSpec>& outputs,
   if (options.output_drive > 0 && options.output_drive != options.drive) {
     const std::string suffix = drive_suffix(options.output_drive);
     for (const int out : result.netlist.outputs()) {
-      for (int i = 0; i < static_cast<int>(result.netlist.gates().size());
-           ++i) {
-        const auto& gate = result.netlist.gates()[static_cast<std::size_t>(i)];
-        if (gate.output != out) continue;
-        const auto base = gate.cell->name.substr(0, gate.cell->name.find('_'));
-        Gate resized = gate;
-        resized.cell = &library.find(base + suffix);
-        result.netlist.replace_gate(i, std::move(resized));
-        break;
-      }
+      const int i = result.netlist.driver_index(out);
+      if (i < 0) continue;  // an output fed straight from a primary input
+      const auto& gate = result.netlist.gates()[static_cast<std::size_t>(i)];
+      const auto base = liberty::Library::base_name(gate.cell->name);
+      Gate resized = gate;
+      resized.cell = &library.find(base + suffix);
+      result.netlist.replace_gate(i, std::move(resized));
     }
   }
   return result;

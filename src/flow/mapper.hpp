@@ -24,12 +24,31 @@ struct OutputSpec {
   bool inverted = false;
 };
 
+/// Covering objective.
+enum class MapCost {
+  /// Minimize gate count — the classic inverter-minimizing NAND mapping
+  /// the paper's figures are reproduced with (the default).
+  kGateCount,
+  /// Minimize estimated arrival using the library's NLDM tables: the DP
+  /// propagates (arrival, slew) through candidate covers under an assumed
+  /// per-gate load, so a slow NOR2 loses to NAND2+INV where the tables say
+  /// so. Area (gate count) breaks ties.
+  kDelay,
+};
+
 struct MapOptions {
   /// Drive strength for the mapped gates (suffix on library lookups).
   double drive = 1.0;
   /// When > 0, gates driving primary outputs are resized to this drive
   /// after covering (the mapper's lightweight output buffering).
   double output_drive = 0.0;
+  /// Covering objective (see MapCost).
+  MapCost cost = MapCost::kGateCount;
+  /// kDelay boundary condition: slew at the primary inputs (s).
+  double input_slew = 20e-12;
+  /// kDelay load model: assumed output load per gate (F) while real fanout
+  /// is still unknown — roughly one sink pin plus wiring.
+  double est_load = 2e-15;
 };
 
 struct MapResult {

@@ -317,6 +317,26 @@ const LibCell& Library::find(const std::string& name) const {
   return cells_[it->second];
 }
 
+std::string Library::base_name(const std::string& cell_name) {
+  const auto pos = cell_name.rfind('_');
+  return pos == std::string::npos ? cell_name : cell_name.substr(0, pos);
+}
+
+std::vector<DriveOption> Library::drives_of(const std::string& cell_base) const {
+  std::vector<DriveOption> options;
+  const auto it = family_.find(cell_base);
+  if (it == family_.end()) return options;
+  options.reserve(it->second.size());
+  for (const std::size_t i : it->second) {
+    options.push_back({cells_[i].drive, &cells_[i]});
+  }
+  std::sort(options.begin(), options.end(),
+            [](const DriveOption& a, const DriveOption& b) {
+              return a.drive < b.drive;
+            });
+  return options;
+}
+
 Library build_library(const CharacterizeOptions& options) {
   Library lib;
   // The paper's full adder uses NAND2 2X plus inverters of 4X/7X/9X; we

@@ -122,14 +122,22 @@ struct ArcMeasurement {
                                         double drive,
                                         const CharacterizeOptions& options);
 
+/// One available drive strength of a cell family.
+struct DriveOption {
+  double drive = 1.0;
+  const LibCell* cell = nullptr;
+};
+
 /// A characterized library. Lookups by name go through a name->index map
-/// (mappers call find() per gate, so the linear scan was a hot path).
+/// (mappers call find() per gate, so the linear scan was a hot path), and
+/// the drive family of each cell base name is indexed for the sizing pass.
 class Library {
  public:
   Library() = default;
   explicit Library(std::vector<LibCell> cells) : cells_(std::move(cells)) {
     for (std::size_t i = 0; i < cells_.size(); ++i) {
       index_.emplace(cells_[i].name, i);
+      family_[base_name(cells_[i].name)].push_back(i);
     }
   }
 
@@ -137,12 +145,23 @@ class Library {
   [[nodiscard]] const std::vector<LibCell>& cells() const { return cells_; }
   void add(LibCell cell) {
     index_.emplace(cell.name, cells_.size());
+    family_[base_name(cell.name)].push_back(cells_.size());
     cells_.push_back(std::move(cell));
   }
+
+  /// Every characterized drive of a cell base name ("INV", "NAND2"),
+  /// ascending by drive; empty when the base is unknown. The sizing pass
+  /// walks this instead of probing drive_suffix strings.
+  [[nodiscard]] std::vector<DriveOption> drives_of(
+      const std::string& cell_base) const;
+
+  /// "NAND2_2X" -> "NAND2" (the name up to the drive suffix).
+  [[nodiscard]] static std::string base_name(const std::string& cell_name);
 
  private:
   std::vector<LibCell> cells_;
   std::unordered_map<std::string, std::size_t> index_;
+  std::unordered_map<std::string, std::vector<std::size_t>> family_;
 };
 
 /// Builds the kit's working library: INV/NAND2 at several drive strengths

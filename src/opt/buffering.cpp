@@ -1,0 +1,149 @@
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "opt/opt.hpp"
+#include "util/error.hpp"
+
+namespace cnfet::opt {
+
+using flow::Gate;
+using flow::GateNetlist;
+
+using detail::check_incremental;
+
+namespace {
+
+/// Adds the polarity-preserving pre-driver + final-stage inverter pair on
+/// `net` and returns (pre net, buffered net). Pure netlist surgery; the
+/// caller wires it to the graph / primary outputs.
+std::pair<int, int> add_inverter_pair(GateNetlist& netlist, int net,
+                                      const liberty::LibCell* pre_cell,
+                                      const liberty::LibCell* final_cell,
+                                      const std::string& tag) {
+  const std::string base = netlist.net_name(net) + "_" + tag;
+  const int pre = netlist.add_net(base + "_pre");
+  const int buf = netlist.add_net(base + "_buf");
+  netlist.add_gate(Gate{pre_cell, {net}, pre, base + "_pre"});
+  netlist.add_gate(Gate{final_cell, {pre}, buf, base + "_buf"});
+  return {pre, buf};
+}
+
+}  // namespace
+
+void insert_buffers(GateNetlist& netlist, sta::TimingGraph& graph,
+                    const liberty::Library& library, const OptOptions& options,
+                    double area_budget, PassStats* stats) {
+  const auto inv_family = library.drives_of("INV");
+  if (inv_family.empty()) return;
+  const liberty::LibCell* pre_cell = inv_family.front().cell;
+  for (const auto& option : inv_family) {
+    if (option.drive == 2.0) pre_cell = option.cell;  // the classic 2X pre-driver
+  }
+  double area = total_area(netlist);
+
+  // --- primary-output buffering -----------------------------------------
+  // Candidates are costed on a clone (a structural edit is cheap to apply
+  // incrementally but expensive to revert); the accepted drive is then
+  // applied to the live netlist through the graph's notifications.
+  for (std::size_t k = 0; k < netlist.outputs().size(); ++k) {
+    const int po = netlist.outputs()[k];
+    if (netlist.driver_index(po) < 0) continue;  // PI-fed output
+    const double worst = graph.worst_arrival();
+    if (options.target_delay > 0.0 && worst <= options.target_delay) break;
+
+    const liberty::LibCell* best_final = nullptr;
+    double best_worst = worst;
+    for (const auto& option : inv_family) {
+      const double added =
+          pre_cell->area_lambda2 + option.cell->area_lambda2;
+      if (area + added > area_budget) continue;
+      GateNetlist trial = netlist;
+      const auto [pre, buf] =
+          add_inverter_pair(trial, po, pre_cell, option.cell, "obuf");
+      (void)pre;
+      trial.replace_output(po, buf);
+      sta::TimingGraph trial_graph(trial, options.sta, options.target_delay);
+      const double candidate = trial_graph.worst_arrival();
+      if (candidate < best_worst) {
+        best_worst = candidate;
+        best_final = option.cell;
+      }
+    }
+    if (best_final == nullptr) continue;
+
+    const auto [pre, buf] =
+        add_inverter_pair(netlist, po, pre_cell, best_final, "obuf");
+    (void)pre;
+    graph.on_gate_added(static_cast<int>(netlist.gates().size()) - 2);
+    graph.on_gate_added(static_cast<int>(netlist.gates().size()) - 1);
+    netlist.replace_output(po, buf);
+    graph.on_output_moved(po, buf);
+    area += pre_cell->area_lambda2 + best_final->area_lambda2;
+    stats->buffers_inserted += 2;
+    check_incremental(graph, options);
+  }
+
+  // --- fanout splitting ---------------------------------------------------
+  // Heavy nets hand the later half of their sinks to a buffered copy,
+  // halving the load the driver sees. Polarity is preserved by the same
+  // inverter pair, and the move is accepted only when the global worst
+  // arrival actually improves.
+  if (options.fanout_buffer_threshold <= 0) return;
+  std::vector<int> heavy;
+  for (int net = 0; net < netlist.num_nets(); ++net) {
+    if (static_cast<int>(netlist.fanout(net).size()) >=
+        options.fanout_buffer_threshold) {
+      heavy.push_back(net);
+    }
+  }
+  for (const int net : heavy) {
+    const double worst = graph.worst_arrival();
+    if (options.target_delay > 0.0 && worst <= options.target_delay) return;
+
+    // The sinks that move: the later half in canonical (gate, pin) order.
+    const auto all_sinks = netlist.fanout(net);
+    const std::size_t first_moved = all_sinks.size() / 2;
+    const std::vector<std::pair<int, int>> moved(
+        all_sinks.begin() + static_cast<std::ptrdiff_t>(first_moved),
+        all_sinks.end());
+
+    const liberty::LibCell* best_final = nullptr;
+    double best_worst = worst;
+    for (const auto& option : inv_family) {
+      if (area + pre_cell->area_lambda2 + option.cell->area_lambda2 >
+          area_budget) {
+        continue;
+      }
+      GateNetlist trial = netlist;
+      const auto [pre, buf] =
+          add_inverter_pair(trial, net, pre_cell, option.cell, "fbuf");
+      (void)pre;
+      for (const auto& [sink, pin] : moved) {
+        trial.set_gate_input(sink, pin, buf);
+      }
+      sta::TimingGraph trial_graph(trial, options.sta, options.target_delay);
+      const double candidate = trial_graph.worst_arrival();
+      if (candidate < best_worst) {
+        best_worst = candidate;
+        best_final = option.cell;
+      }
+    }
+    if (best_final == nullptr) continue;
+
+    const auto [pre, buf] =
+        add_inverter_pair(netlist, net, pre_cell, best_final, "fbuf");
+    (void)pre;
+    graph.on_gate_added(static_cast<int>(netlist.gates().size()) - 2);
+    graph.on_gate_added(static_cast<int>(netlist.gates().size()) - 1);
+    for (const auto& [sink, pin] : moved) {
+      netlist.set_gate_input(sink, pin, buf);
+      graph.on_input_rewired(sink, pin, net);
+    }
+    area += pre_cell->area_lambda2 + best_final->area_lambda2;
+    stats->buffers_inserted += 2;
+    check_incremental(graph, options);
+  }
+}
+
+}  // namespace cnfet::opt

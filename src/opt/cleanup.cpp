@@ -1,0 +1,91 @@
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "opt/opt.hpp"
+#include "util/error.hpp"
+
+namespace cnfet::opt {
+
+using flow::Gate;
+using flow::GateNetlist;
+
+double total_area(const GateNetlist& netlist) {
+  double area = 0.0;
+  for (const auto& gate : netlist.gates()) {
+    area += gate.cell->area_lambda2;
+  }
+  return area;
+}
+
+namespace {
+
+/// Merges gates computing the identical function of identical input nets:
+/// every sink (and primary-output entry) of the duplicate's net moves to
+/// the first copy's net, leaving the duplicate dead. Returns whether
+/// anything was rewired.
+bool merge_duplicates(GateNetlist& netlist) {
+  bool changed = false;
+  std::map<std::pair<const liberty::LibCell*, std::vector<int>>, int> seen;
+  for (int i = 0; i < static_cast<int>(netlist.gates().size()); ++i) {
+    const auto& gate = netlist.gates()[static_cast<std::size_t>(i)];
+    const auto key = std::make_pair(gate.cell, gate.inputs);
+    const auto [it, inserted] = seen.emplace(key, i);
+    if (inserted) continue;
+    const int kept_net =
+        netlist.gates()[static_cast<std::size_t>(it->second)].output;
+    const int dup_net = gate.output;
+    if (kept_net == dup_net) continue;
+    // Move sinks off the duplicate (snapshot: set_gate_input edits the
+    // fanout list we'd otherwise be iterating). An already-drained
+    // duplicate (no readers, no port) must not count as progress, or the
+    // fixpoint loop would spin until remove_dead reaps it.
+    const auto readers = netlist.fanout(dup_net);
+    for (const auto& [sink, pin] : readers) {
+      netlist.set_gate_input(sink, pin, kept_net);
+    }
+    bool rewired = !readers.empty();
+    for (const int po : netlist.outputs()) {
+      if (po == dup_net) {
+        netlist.replace_output(dup_net, kept_net);
+        rewired = true;
+      }
+    }
+    changed = changed || rewired;
+  }
+  return changed;
+}
+
+/// Drops every gate whose output has no readers and is not a primary
+/// output, repeating until stable (removing a gate can orphan its fanins).
+int remove_dead(GateNetlist& netlist) {
+  int removed = 0;
+  for (;;) {
+    std::vector<bool> keep(netlist.gates().size(), true);
+    bool any = false;
+    for (std::size_t i = 0; i < netlist.gates().size(); ++i) {
+      const int out = netlist.gates()[i].output;
+      if (!netlist.fanout(out).empty()) continue;
+      bool is_po = false;
+      for (const int po : netlist.outputs()) is_po = is_po || po == out;
+      if (is_po) continue;
+      keep[i] = false;
+      any = true;
+      ++removed;
+    }
+    if (!any) return removed;
+    netlist.remove_gates(keep);
+  }
+}
+
+}  // namespace
+
+void cleanup(GateNetlist& netlist, PassStats* stats) {
+  // Merging can expose fresh duplicates (two gates whose inputs just
+  // became the same net), so iterate to a fixpoint before the dead sweep.
+  while (merge_duplicates(netlist)) {
+  }
+  stats->gates_removed += remove_dead(netlist);
+}
+
+}  // namespace cnfet::opt

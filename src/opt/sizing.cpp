@@ -1,0 +1,62 @@
+#include "opt/opt.hpp"
+#include "util/error.hpp"
+
+namespace cnfet::opt {
+
+using flow::Gate;
+using flow::GateNetlist;
+
+using detail::check_incremental;
+
+void size_gates(GateNetlist& netlist, sta::TimingGraph& graph,
+                const liberty::Library& library, const OptOptions& options,
+                double area_budget, PassStats* stats) {
+  double area = total_area(netlist);
+  for (int round = 0; round < options.max_sizing_rounds; ++round) {
+    const double worst = graph.worst_arrival();
+    if (options.target_delay > 0.0 && worst <= options.target_delay) return;
+    const auto path = graph.critical_gates();
+
+    // Best single resize on the critical path this round. Every candidate
+    // is tried in place: replace, incremental re-time, read the worst
+    // arrival, revert — the graph re-times only the affected cone, so a
+    // full family sweep costs a handful of cone updates, not |path| STAs.
+    int best_gate = -1;
+    const liberty::LibCell* best_cell = nullptr;
+    double best_worst = worst;
+    for (const int g : path) {
+      const liberty::LibCell* original =
+          netlist.gates()[static_cast<std::size_t>(g)].cell;
+      const auto family =
+          library.drives_of(liberty::Library::base_name(original->name));
+      for (const auto& option : family) {
+        if (option.cell == original) continue;
+        if (area - original->area_lambda2 + option.cell->area_lambda2 >
+            area_budget) {
+          continue;
+        }
+        netlist.resize_gate(g, option.cell);
+        graph.on_gate_replaced(g);
+        const double candidate = graph.worst_arrival();
+        if (candidate < best_worst) {
+          best_worst = candidate;
+          best_gate = g;
+          best_cell = option.cell;
+        }
+        netlist.resize_gate(g, original);
+        graph.on_gate_replaced(g);
+      }
+    }
+    if (best_gate < 0) return;  // no resize improves the critical path
+
+    area += best_cell->area_lambda2 -
+            netlist.gates()[static_cast<std::size_t>(best_gate)]
+                .cell->area_lambda2;
+    netlist.resize_gate(best_gate, best_cell);
+    graph.on_gate_replaced(best_gate);
+    ++stats->gates_resized;
+    check_incremental(graph, options);
+  }
+}
+
+}  // namespace cnfet::opt

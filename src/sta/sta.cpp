@@ -1,72 +1,15 @@
 #include "sta/sta.hpp"
 
-#include <algorithm>
-#include <map>
-
-#include "util/error.hpp"
+#include "sta/timing_graph.hpp"
 
 namespace cnfet::sta {
 
-using flow::Gate;
-
 StaResult analyze(const flow::GateNetlist& netlist, const StaOptions& options) {
-  StaResult result;
-  const auto n = static_cast<std::size_t>(netlist.num_nets());
-  result.arrival.assign(n, 0.0);
-  result.slew.assign(n, options.input_slew);
-  std::vector<const Gate*> critical_from(n, nullptr);
-
-  for (const auto* gate : netlist.topological_order()) {
-    const double load = netlist.net_load(
-        gate->output, options.wire_cap_per_fanout, options.output_load);
-    double worst = 0.0;
-    double worst_slew = options.input_slew;
-    const Gate* worst_pred = nullptr;
-    for (std::size_t pin = 0; pin < gate->inputs.size(); ++pin) {
-      const auto in = static_cast<std::size_t>(gate->inputs[pin]);
-      for (const bool rising : {true, false}) {
-        const auto& arc = gate->cell->arc(static_cast<int>(pin), rising);
-        const double d = arc.delay.lookup(result.slew[in], load);
-        if (result.arrival[in] + d > worst) {
-          worst = result.arrival[in] + d;
-          worst_slew = arc.out_slew.lookup(result.slew[in], load);
-          worst_pred = netlist.driver(gate->inputs[pin]);
-        }
-      }
-      // Energy: average of rise/fall arc energy for this pin, counted once
-      // per gate using its first pin only (one output transition/cycle).
-      if (pin == 0) {
-        const auto& e_r = gate->cell->arc(0, true).energy;
-        const auto& e_f = gate->cell->arc(0, false).energy;
-        result.energy_per_cycle +=
-            0.5 * (e_r.lookup(result.slew[in], load) +
-                   e_f.lookup(result.slew[in], load));
-      }
-    }
-    const auto out = static_cast<std::size_t>(gate->output);
-    result.arrival[out] = worst;
-    result.slew[out] = worst_slew;
-    critical_from[out] = worst_pred;
-  }
-
-  for (const int po : netlist.outputs()) {
-    const auto po_idx = static_cast<std::size_t>(po);
-    if (result.arrival[po_idx] >= result.worst_arrival) {
-      result.worst_arrival = result.arrival[po_idx];
-      result.critical_output = po;
-    }
-  }
-
-  // Walk the critical path back from the worst output.
-  if (result.critical_output >= 0) {
-    const Gate* at = netlist.driver(result.critical_output);
-    while (at != nullptr) {
-      result.critical_path.push_back(at->name);
-      at = critical_from[static_cast<std::size_t>(at->output)];
-    }
-    std::reverse(result.critical_path.begin(), result.critical_path.end());
-  }
-  return result;
+  // One-shot sign-off: build the pin-level timing graph, propagate once,
+  // and snapshot. Incremental consumers (the opt:: passes, what-if sweeps)
+  // hold a TimingGraph directly instead of re-analyzing per edit.
+  TimingGraph graph(netlist, options);
+  return graph.to_sta_result();
 }
 
 }  // namespace cnfet::sta

@@ -1,8 +1,9 @@
 // Static timing analysis over a mapped gate netlist using the library's
-// characterized NLDM tables: topological arrival/slew propagation, critical
+// characterized NLDM tables: levelized arrival/slew propagation, critical
 // path extraction, and a switching-energy roll-up (every gate switching
 // once per cycle — the metric the paper's case study 2 reports as
-// energy/cycle).
+// energy/cycle). analyze() is a thin full-build wrapper over the
+// incremental sta::TimingGraph (timing_graph.hpp).
 #pragma once
 
 #include <string>

@@ -44,6 +44,15 @@ TEST(ApiFlow, StageProgressionProducesTypedArtifacts) {
   EXPECT_GT(flow.timed()->timing.worst_arrival, 0.0);
   EXPECT_GT(flow.timed()->edp_js(), 0.0);
 
+  // Default FlowOptions leave optimization off: the stage passes through
+  // with the Timed numbers and the netlist untouched.
+  ASSERT_TRUE(flow.optimize().ok());
+  EXPECT_EQ(flow.stage(), api::Stage::kOptimized);
+  ASSERT_NE(flow.optimized(), nullptr);
+  EXPECT_FALSE(flow.optimized()->enabled);
+  EXPECT_EQ(flow.optimized()->timing.worst_arrival,
+            flow.timed()->timing.worst_arrival);
+
   ASSERT_TRUE(flow.place().ok());
   ASSERT_NE(flow.placed(), nullptr);
   EXPECT_EQ(flow.placed()->placement.instances.size(),
@@ -100,7 +109,8 @@ TEST(ApiFlow, StageOrderViolationsAreDiagnosed) {
   ASSERT_TRUE(flow.ok());
   auto& f = flow.value();
   EXPECT_FALSE(f.time().ok());       // requires Mapped
-  EXPECT_FALSE(f.place().ok());      // requires Timed
+  EXPECT_FALSE(f.optimize().ok());   // requires Timed
+  EXPECT_FALSE(f.place().ok());      // requires Optimized
   EXPECT_FALSE(f.export_design().ok());
   ASSERT_TRUE(f.map().ok());
   EXPECT_FALSE(f.map().ok());        // already mapped
@@ -161,6 +171,47 @@ TEST(ApiFlow, OutputDriveResizesOnlyOutputDrivers) {
   EXPECT_EQ(strong_gates, 1);
   // Resizing must preserve function.
   EXPECT_TRUE(flow.value().mapped()->verified);
+}
+
+TEST(ApiFlow, OptimizeImprovesWeakAdderWithinAreaBudget) {
+  const auto library = cnfet_library();
+  flow::FullAdderOptions weak;
+  weak.nand_drive = 1.0;  // undersized everywhere: sizing has headroom
+  api::FlowOptions options;
+  options.library = library;
+  options.optimize = true;
+  options.max_area_growth = 0.5;
+  auto flow =
+      api::Flow::from_netlist(flow::build_full_adder(*library, weak), options);
+  ASSERT_TRUE(flow.ok());
+  auto& f = flow.value();
+  ASSERT_TRUE(f.run(api::Stage::kOptimized).ok());
+  const auto* opt = f.optimized();
+  ASSERT_NE(opt, nullptr);
+  EXPECT_TRUE(opt->enabled);
+  EXPECT_GT(opt->stats.edits(), 0);
+  EXPECT_LT(opt->timing.worst_arrival, opt->stats.delay_before);
+  EXPECT_LE(opt->stats.area_after,
+            opt->stats.area_before * (1.0 + options.max_area_growth) + 1e-9);
+
+  const auto m = f.metrics();
+  EXPECT_TRUE(m.optimized);
+  EXPECT_EQ(m.worst_arrival_s, opt->timing.worst_arrival);
+  EXPECT_EQ(m.pre_opt_worst_arrival_s, opt->stats.delay_before);
+
+  // The optimized netlist still places, signs off and exports cleanly.
+  ASSERT_TRUE(f.run().ok());
+  EXPECT_TRUE(f.metrics().all_immune);
+}
+
+TEST(ApiFlow, DelayCostMappingIsStillVerifiedExhaustively) {
+  api::FlowOptions options;
+  options.map_cost = flow::MapCost::kDelay;
+  auto flow = api::Flow::from_cell("AOI22", options);
+  ASSERT_TRUE(flow.ok());
+  ASSERT_TRUE(flow.value().run(api::Stage::kTimed).ok());
+  EXPECT_TRUE(flow.value().mapped()->verified);
+  EXPECT_GT(flow.value().timed()->timing.worst_arrival, 0.0);
 }
 
 TEST(ApiFlow, TechFollowsTheSuppliedLibrary) {
