@@ -4,8 +4,10 @@
 // analytic Jacobian), the parallel characterization grid, the incremental
 // timing graph (single-gate edit re-time vs full rebuild on the paper's
 // buffered full adder, with a bit-for-bit equivalence check and a 10x
-// floor), and the two parallel-subsystem paths from PR 2
-// (cnt::monte_carlo trial sharding, api::run_batch job fan-out).
+// floor), the library disk cache (cold serial characterization vs a
+// versioned-JSON load, NLDM-exact with its own 10x floor), and the two
+// parallel-subsystem paths from PR 2 (cnt::monte_carlo trial sharding,
+// api::run_batch job fan-out).
 // Verifies the fast engine stays inside the accuracy-equivalence contract
 // (delays within 1%, per-cycle energies within 2% of the seed engine) and
 // that parallel results are identical to serial, then writes everything
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "api/batch.hpp"
+#include "api/serialize.hpp"
 #include "cnt/analyzer.hpp"
 #include "layout/cells.hpp"
 #include "liberty/library.hpp"
@@ -188,6 +191,62 @@ int main() {
               char_par_speedup, 100 * char_delay_err, char_delay_abs * 1e12,
               100 * char_energy_err, char_identical ? "yes" : "NO");
 
+  // --- library disk cache: cold characterization vs JSON load -------------
+  // The disk tier (api::LibraryCache::set_cache_dir) replaces the whole
+  // transient characterization grid with a parse plus a deterministic
+  // geometry rebuild; the acceptance floor is a 10x win over *serial*
+  // characterization, checked against the fast-serial library measured
+  // above. Tables must load back exactly — a disk hit has to be
+  // indistinguishable from the in-memory build.
+  const char* cache_file = "BENCH_library_cache.json";
+  const auto lib_saved = api::save_library(lib_fast, cache_file);
+  if (!lib_saved.ok()) {
+    std::printf("library save failed: %s\n",
+                lib_saved.error().to_string().c_str());
+    return 1;
+  }
+  api::LibraryHandle lib_loaded;
+  const double cache_load_ms = best_ms(5, [&] {
+    auto loaded = api::load_library(cache_file);
+    lib_loaded = loaded.ok() ? loaded.value() : nullptr;
+  });
+  bool cache_exact = lib_loaded != nullptr &&
+                     lib_loaded->cells().size() == lib_fast.cells().size();
+  if (cache_exact) {
+    for (std::size_t c = 0; c < lib_fast.cells().size(); ++c) {
+      const auto& cf = lib_fast.cells()[c];
+      const auto& cl = lib_loaded->cells()[c];
+      cache_exact = cache_exact && cf.name == cl.name &&
+                    cf.input_cap == cl.input_cap &&
+                    cf.area_lambda2 == cl.area_lambda2 &&
+                    cf.arcs.size() == cl.arcs.size();
+      if (!cache_exact) break;
+      for (std::size_t a = 0; a < cf.arcs.size(); ++a) {
+        const auto& slews = cf.arcs[a].delay.slews();
+        const auto& loads = cf.arcs[a].delay.loads();
+        for (std::size_t si = 0; si < slews.size(); ++si) {
+          for (std::size_t li = 0; li < loads.size(); ++li) {
+            cache_exact = cache_exact &&
+                          cf.arcs[a].delay.at(si, li) ==
+                              cl.arcs[a].delay.at(si, li) &&
+                          cf.arcs[a].out_slew.at(si, li) ==
+                              cl.arcs[a].out_slew.at(si, li) &&
+                          cf.arcs[a].energy.at(si, li) ==
+                              cl.arcs[a].energy.at(si, li);
+          }
+        }
+      }
+    }
+  }
+  std::remove(cache_file);
+  const double cache_speedup =
+      cache_load_ms > 0.0 ? char_fast_ms / cache_load_ms : 0.0;
+  const bool cache_ok = cache_exact && cache_speedup >= 10.0;
+  std::printf("library_cache characterize %8.1f ms | disk load %8.3f ms | "
+              "speedup %.1fx | tables exact: %s\n",
+              char_fast_ms, cache_load_ms, cache_speedup,
+              cache_exact ? "yes" : "NO");
+
   // Warm the per-tech library cache so run_batch timings measure the
   // pipeline, not one-time characterization.
   const auto cnfet_lib =
@@ -315,6 +374,12 @@ int main() {
                "    \"energy_rel_err\": %.5f,\n"
                "    \"parallel_identical\": %s\n"
                "  },\n"
+               "  \"library_cache\": {\n"
+               "    \"characterize_serial_ms\": %.3f,\n"
+               "    \"disk_load_ms\": %.4f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"tables_exact\": %s\n"
+               "  },\n"
                "  \"timing_graph\": {\n"
                "    \"circuit\": \"full_adder_9nand_buffered\",\n"
                "    \"gates\": %zu,\n"
@@ -347,6 +412,8 @@ int main() {
                char_speedup, char_par_ms, char_par_speedup, char_delay_err,
                char_delay_abs * 1e12, char_delay_ok ? "true" : "false",
                char_energy_err, char_identical ? "true" : "false",
+               char_fast_ms, cache_load_ms, cache_speedup,
+               cache_exact ? "true" : "false",
                adder.gates().size(), tg_full_ms * 1e3, tg_incr_ms * 1e3,
                tg_speedup, tg_identical ? "true" : "false", kTrials,
                mc.serial_ms, mc.parallel_ms, mc.speedup(),
@@ -362,6 +429,8 @@ int main() {
   // host's cores (scripts/check_perf.py gates the speedups separately).
   // The timing-graph incremental==full equivalence and its 10x floor are
   // in-run ratios, so they gate here too.
-  return (mc.identical && batch.identical && tran_ok && char_ok && tg_ok) ? 0
-                                                                          : 1;
+  return (mc.identical && batch.identical && tran_ok && char_ok && tg_ok &&
+          cache_ok)
+             ? 0
+             : 1;
 }

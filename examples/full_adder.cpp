@@ -2,12 +2,18 @@
 // api::Flow at the Mapped stage, then timed, placed under both schemes,
 // signed off and exported — no hand-wired stage plumbing.
 #include <cstdio>
+#include <filesystem>
 
 #include "api/batch.hpp"
 #include "api/flow.hpp"
 
-int main() {
+int main(int, char** argv) {
   using namespace cnfet;
+  // Generated layouts land next to the binary (the build tree), never in
+  // the source checkout.
+  const auto out_path = [&](const char* name) {
+    return (std::filesystem::path(argv[0]).parent_path() / name).string();
+  };
 
   std::printf("characterizing CNFET library...\n");
   auto library = api::LibraryCache::global().get(layout::Tech::kCnfet65);
@@ -68,7 +74,7 @@ int main() {
                 100.0 * m.utilization, m.drc_violations,
                 m.all_immune ? "yes" : "NO");
     if (scheme == layout::CellScheme::kScheme2) {
-      const auto path = flow.write_gds("full_adder_scheme2.gds");
+      const auto path = flow.write_gds(out_path("full_adder_scheme2.gds"));
       if (!path.ok()) {
         std::printf("GDS write failed: %s\n",
                     path.error().to_string().c_str());

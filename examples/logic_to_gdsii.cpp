@@ -3,11 +3,17 @@
 // (mapping, timing, placement, signoff, GDS) can be inspected as it is
 // produced.
 #include <cstdio>
+#include <filesystem>
 
 #include "api/flow.hpp"
 
-int main() {
+int main(int, char** argv) {
   using namespace cnfet;
+  // Generated layouts land next to the binary (the build tree), never in
+  // the source checkout.
+  const auto out_path = [&](const char* name) {
+    return (std::filesystem::path(argv[0]).parent_path() / name).string();
+  };
 
   // Three outputs over shared inputs: a majority gate, an OR-AND, and an
   // inverted OR (the mapper handles both phases of any AIG node).
@@ -73,12 +79,12 @@ int main() {
               signoff->all_immune ? "yes" : "NO");
 
   if (!flow.export_design().ok()) return 1;
-  const auto written = flow.write_gds("logic_top.gds");
+  const auto written = flow.write_gds(out_path("logic_top.gds"));
   if (!written.ok()) {
     std::printf("%s\n", written.error().to_string().c_str());
     return 1;
   }
-  std::printf("wrote logic_top.gds (%zu structures)\n",
+  std::printf("wrote %s (%zu structures)\n", written.value().c_str(),
               flow.exported()->gds.structures.size());
   return flow.mapped()->verified ? 0 : 1;
 }

@@ -4,13 +4,19 @@
 //
 //   $ ./example_quickstart
 #include <cstdio>
+#include <filesystem>
 
 #include "api/flow.hpp"
 #include "core/design_kit.hpp"
 #include "layout/strip.hpp"
 
-int main() {
+int main(int, char** argv) {
   using namespace cnfet;
+  // Generated layouts land next to the binary (the build tree), never in
+  // the source checkout.
+  const auto out_path = [&](const char* name) {
+    return (std::filesystem::path(argv[0]).parent_path() / name).string();
+  };
 
   // 1. The whole logic->GDSII pipeline is one typed object. from_cell
   //    compiles the library cell's function; run() advances through
@@ -34,7 +40,8 @@ int main() {
               metrics.worst_arrival_s * 1e12, metrics.placed_area_lambda2,
               metrics.drc_violations, metrics.all_immune ? "yes" : "NO");
 
-  if (const auto path = flow.write_gds("nand3_immune.gds"); path.ok()) {
+  if (const auto path = flow.write_gds(out_path("nand3_immune.gds"));
+      path.ok()) {
     std::printf("wrote %s\n\n", path.value().c_str());
   } else {
     std::printf("GDS write failed: %s\n", path.error().to_string().c_str());

@@ -8,7 +8,8 @@ Fails (exit 1) when:
     binary on the same machine, so they are host-independent, unlike
     absolute milliseconds;
   * the repo's acceptance floors are missed (>= 3x single-arc transient,
-    >= 5x cold characterization);
+    >= 5x cold characterization, >= 10x library disk-cache load vs serial
+    characterization);
   * any accuracy/equivalence flag in the bench output is false.
 
 Usage: python3 scripts/check_perf.py [BENCH_perf.json]
@@ -25,6 +26,9 @@ FLOOR_CHARACTERIZATION = 5.0
 # Acceptance floor: incremental re-time after a single-gate edit of the
 # full adder must stay >= 10x faster than a full TimingGraph rebuild.
 FLOOR_TIMING_GRAPH = 10.0
+# Acceptance floor: a library disk-cache hit must beat serial
+# characterization by >= 10x (in practice it is orders of magnitude).
+FLOOR_LIBRARY_CACHE = 10.0
 
 
 def fail(msg: str) -> None:
@@ -45,6 +49,7 @@ def main() -> int:
     tran = bench["transient_single_arc"]
     char = bench["characterization"]
     tgraph = bench["timing_graph"]
+    libcache = bench["library_cache"]
 
     checks = [
         ("single-arc transient speedup", tran["speedup"],
@@ -56,6 +61,9 @@ def main() -> int:
         ("timing-graph incremental speedup", tgraph["speedup"],
          max(baseline["timing_graph_incremental_speedup"] /
              REGRESSION_ALLOWANCE, FLOOR_TIMING_GRAPH)),
+        ("library disk-cache load speedup", libcache["speedup"],
+         max(baseline["library_cache_load_speedup"] / REGRESSION_ALLOWANCE,
+             FLOOR_LIBRARY_CACHE)),
     ]
     for name, actual, minimum in checks:
         status = "ok" if actual >= minimum else "REGRESSED"
@@ -68,6 +76,7 @@ def main() -> int:
         ("transient_single_arc", "within_tolerance"),
         ("characterization", "delay_within_bounds"),
         ("characterization", "parallel_identical"),
+        ("library_cache", "tables_exact"),
         ("timing_graph", "identical"),
         ("monte_carlo", "identical"),
         ("run_batch", "identical"),

@@ -108,6 +108,7 @@ FlowReport run_batch(const std::vector<FlowJob>& jobs,
         if (options.fail_fast && abort.load(std::memory_order_relaxed)) {
           JobOutcome skipped;
           skipped.name = job.name;
+          skipped.skipped = true;
           skipped.diagnostics.error(
               "batch", "skipped: an earlier job failed (fail_fast)");
           return skipped;

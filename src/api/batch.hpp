@@ -29,6 +29,11 @@ struct FlowJob {
 struct JobOutcome {
   std::string name;
   bool ok = false;
+  /// True when the job never ran because fail_fast stopped the batch after
+  /// an earlier failure — the machine-readable marker report consumers
+  /// filter on (a skipped job also reports `reached = kCreated`, which
+  /// alone is indistinguishable from a job that failed at creation).
+  bool skipped = false;
   Stage reached = Stage::kCreated;
   FlowMetrics metrics;
   util::Diagnostics diagnostics;

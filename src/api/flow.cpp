@@ -69,6 +69,16 @@ const char* to_string(Stage stage) {
   return "?";
 }
 
+util::Result<Stage> stage_from_string(const std::string& name) {
+  for (const Stage stage :
+       {Stage::kCreated, Stage::kMapped, Stage::kTimed, Stage::kOptimized,
+        Stage::kPlaced, Stage::kSignedOff, Stage::kExported}) {
+    if (name == to_string(stage)) return stage;
+  }
+  return util::Result<Stage>::failure("stage",
+                                      "unknown stage name: " + name);
+}
+
 Flow::Flow(std::string name, FlowOptions options, LibraryHandle library)
     : name_(std::move(name)),
       options_(std::move(options)),

@@ -47,6 +47,10 @@ enum class Stage {
 
 [[nodiscard]] const char* to_string(Stage stage);
 
+/// Inverse of to_string(Stage), as the CLI and jobs.json need it. Unknown
+/// names come back as a Diagnostic, never a throw.
+[[nodiscard]] util::Result<Stage> stage_from_string(const std::string& name);
+
 /// Stages are totally ordered; compare positions with this.
 [[nodiscard]] constexpr int index_of_stage(Stage stage) {
   return static_cast<int>(stage);
@@ -257,6 +261,25 @@ class Flow {
 
   /// Snapshot of every completed stage's headline numbers.
   [[nodiscard]] FlowMetrics metrics() const;
+
+  /// Checkpoints the whole session — stage, options, specification,
+  /// artifacts and diagnostics — as a versioned JSON file `flow.json`
+  /// under `dir` (created if needed). A session saved at any stage and
+  /// reconstructed with resume() continues bit-identically: the same GDS
+  /// bytes, the same FlowMetrics. Returns the file path.
+  /// (Implemented in api/serialize.cpp.)
+  [[nodiscard]] util::Result<std::string> save(const std::string& dir) const;
+
+  /// Rebuilds a session saved by save(). The characterized library is
+  /// re-resolved through LibraryCache::global() for the saved technology
+  /// (characterization is deterministic, so the reconstruction is exact)
+  /// and validated against the saved library fingerprint — a session
+  /// built with a custom FlowOptions::library is refused rather than
+  /// silently rebound to different NLDM tables. The Exported artifact,
+  /// when present, is regenerated from the saved placement, which
+  /// reproduces the identical GDS stream. Schema-version or checksum
+  /// mismatches come back as error Diagnostics.
+  [[nodiscard]] static util::Result<Flow> resume(const std::string& dir);
 
  private:
   Flow(std::string name, FlowOptions options, LibraryHandle library);

@@ -1,9 +1,16 @@
 #include "api/library_cache.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <optional>
 #include <utility>
+
+#include "api/serialize.hpp"
 
 namespace cnfet::api {
 
@@ -15,9 +22,42 @@ struct LibraryCache::Slot {
   std::atomic<bool> done{false};
 };
 
+LibraryCache::LibraryCache() {
+  if (const char* env = std::getenv("CNFET_LIBRARY_CACHE_DIR")) {
+    cache_dir_ = env;
+  }
+}
+
 LibraryCache& LibraryCache::global() {
   static LibraryCache cache;
   return cache;
+}
+
+void LibraryCache::set_cache_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_dir_ = std::move(dir);
+}
+
+std::string LibraryCache::cache_dir() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_dir_;
+}
+
+std::string LibraryCache::cache_path(layout::Tech tech) const {
+  const std::string dir = cache_dir();
+  if (dir.empty()) return {};
+  // "CNFET65" -> "cnfet65-v1.json": the filename keys both the technology
+  // and the artifact schema, so a schema bump naturally misses old files.
+  std::string name = layout::to_string(tech);
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  return (std::filesystem::path(dir) /
+          (name + "-v" + std::to_string(kSchemaVersion) + ".json"))
+      .string();
+}
+
+util::Diagnostics LibraryCache::diagnostics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_diags_;
 }
 
 util::Result<LibraryHandle> LibraryCache::get(layout::Tech tech) {
@@ -33,9 +73,63 @@ util::Result<LibraryHandle> LibraryCache::get(layout::Tech tech) {
     slot = entry;
   }
   std::call_once(slot->once, [&] {
+    const std::string path = cache_path(tech);
+    const auto note = [&](util::Severity severity, std::string message) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      disk_diags_.add({severity, "library-cache", std::move(message)});
+    };
+    // Disk tier first: a valid artifact replaces the whole transient
+    // characterization grid with a parse + deterministic geometry rebuild.
+    if (!path.empty()) {
+      std::error_code ec;
+      if (std::filesystem::exists(path, ec)) {
+        auto loaded = load_library(path);
+        if (loaded.ok()) {
+          note(util::Severity::kInfo,
+               std::string("loaded ") + layout::to_string(tech) + " from " +
+                   path);
+          slot->result = std::move(loaded);
+          slot->done.store(true, std::memory_order_release);
+          return;
+        }
+        note(util::Severity::kWarning,
+             "refusing " + path + ", falling back to characterization: " +
+                 loaded.error().message);
+      }
+    }
     liberty::CharacterizeOptions options;
     options.layout_tech = tech;
     slot->result = build(options);
+    if (!path.empty() && slot->result->ok()) {
+      std::error_code ec;
+      std::filesystem::create_directories(cache_dir(), ec);
+      // Write-then-rename so concurrent processes (ctest runs many test
+      // binaries against one cache dir) never observe a torn file — the
+      // rename is atomic and the last writer wins with identical bytes.
+      const std::string tmp =
+          path + ".tmp." + std::to_string(::getpid());
+      auto written = save_library(*slot->result->value(), tmp);
+      if (written.ok()) {
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+          written = util::Result<std::string>::failure(
+              "serialize", "rename to " + path + " failed");
+        }
+      }
+      if (!written.ok()) {
+        // Never leave a partial .tmp file behind (disk-full, permissions,
+        // failed rename) — orphans would accumulate across runs.
+        std::filesystem::remove(tmp, ec);
+      }
+      if (written.ok()) {
+        note(util::Severity::kInfo, std::string("stored ") +
+                                        layout::to_string(tech) + " to " +
+                                        path);
+      } else {
+        note(util::Severity::kWarning,
+             "could not store " + path + ": " + written.error().message);
+      }
+    }
     slot->done.store(true, std::memory_order_release);
   });
   return *slot->result;

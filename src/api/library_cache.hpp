@@ -24,11 +24,23 @@
 //    of flows may read it concurrently with no further locking.
 //  * A failed characterization is cached too (the same options fail the
 //    same way); clear() resets the cache if a retry is ever wanted.
+//
+// Disk tier: set_cache_dir() (or the CNFET_LIBRARY_CACHE_DIR environment
+// variable) names a directory of versioned library artifacts,
+// `<tech>-v<schema>.json` (api/serialize.hpp). With it set, a cache miss
+// first tries the file — loading NLDM tables and rebuilding the cheap
+// deterministic geometry is >=10x faster than re-running the transient
+// characterization grid — and characterizes only when the file is absent
+// or refused (schema-version or checksum mismatch), writing the artifact
+// back afterwards. Every disk decision is recorded in diagnostics(): a
+// refused file downgrades to a warning plus a fresh characterization,
+// never a failure.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "layout/rules.hpp"
 #include "liberty/library.hpp"
@@ -40,6 +52,11 @@ using LibraryHandle = std::shared_ptr<const liberty::Library>;
 
 class LibraryCache {
  public:
+  /// A fresh cache (disk tier seeded from CNFET_LIBRARY_CACHE_DIR when the
+  /// variable is set). Most callers want global() instead; standalone
+  /// instances exist for tools and tests that need an isolated disk tier.
+  LibraryCache();
+
   /// Process-wide cache shared by Flow, run_batch and core::DesignKit.
   [[nodiscard]] static LibraryCache& global();
 
@@ -58,6 +75,21 @@ class LibraryCache {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// Points the disk tier at `dir` ("" disables it). Only affects
+  /// technologies not yet resolved in memory — clear() first to force the
+  /// next get() through the disk. The process-wide cache starts from the
+  /// CNFET_LIBRARY_CACHE_DIR environment variable when it is set.
+  void set_cache_dir(std::string dir);
+  [[nodiscard]] std::string cache_dir() const;
+
+  /// The artifact path get() would use for `tech` under the current cache
+  /// dir (empty when the disk tier is disabled).
+  [[nodiscard]] std::string cache_path(layout::Tech tech) const;
+
+  /// Disk-tier notices accumulated by get(): info on hits and stores,
+  /// warnings on refused files that fell back to characterization.
+  [[nodiscard]] util::Diagnostics diagnostics() const;
+
  private:
   /// One per-technology memo cell: call_once guards the build, `result`
   /// is written exactly once before any waiter reads it.
@@ -65,6 +97,8 @@ class LibraryCache {
 
   mutable std::mutex mutex_;
   std::map<layout::Tech, std::shared_ptr<Slot>> by_tech_;
+  std::string cache_dir_;        // guarded by mutex_
+  util::Diagnostics disk_diags_; // guarded by mutex_
 };
 
 }  // namespace cnfet::api

@@ -1,0 +1,120 @@
+// Versioned JSON artifact I/O: the durable form of every object the
+// public pipeline produces or consumes.
+//
+// Artifact files share one envelope:
+//
+//     { "schema_version": 1, "kind": "library" | "flow" | "jobs" | "report",
+//       "checksum": "<fnv1a64 of the compact payload dump>",
+//       "payload": { ... } }
+//
+// Readers are *forward-refusing*: any schema_version other than the one
+// this build writes is an error (a newer writer may mean fields this
+// reader silently misinterprets), and a checksum mismatch means the file
+// was truncated or edited — both come back as error Diagnostics, never a
+// crash. api::LibraryCache turns a refused library file into a fallback
+// re-characterization; Flow::resume and the cnfetc CLI surface the error.
+//
+// The to_json/from_json pairs below are the value-level converters the
+// envelope wraps. They follow the library's internal throwing contract
+// (util::Error on a malformed shape); the file-level save_*/load_*
+// functions and Flow::save/resume convert to util::Result at the api::
+// boundary. Round-trips are exact: doubles survive bit-for-bit (see
+// util/json.hpp), object members keep their order, and a reconstructed
+// Flow continues to the identical GDS byte stream.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "api/flow.hpp"
+#include "util/json.hpp"
+
+namespace cnfet::api {
+
+/// Schema version stamped into (and required of) every artifact file.
+inline constexpr int kSchemaVersion = 1;
+
+/// Inverse of layout::to_string(Tech); accepts any capitalization
+/// ("cnfet65", "CNFET65"). The CLI's --tech flag speaks this.
+[[nodiscard]] util::Result<layout::Tech> tech_from_string(
+    const std::string& name);
+
+// --- value-level converters (throw util::Error on malformed input) --------
+
+/// The characterized library, NLDM tables and all. The geometry of each
+/// cell (layout, netlist, truth table) is NOT stored: it is deterministic
+/// and cheap, so from_json rebuilds it with layout::build_cell under the
+/// stored tech/style/scheme — only the expensive transient-simulation
+/// results travel through the file.
+[[nodiscard]] util::json::Value to_json(const liberty::Library& library);
+[[nodiscard]] liberty::Library library_from_json(const util::json::Value& v);
+
+/// Gate netlists; cells are stored by name and resolved against `library`.
+[[nodiscard]] util::json::Value to_json(const flow::GateNetlist& netlist);
+[[nodiscard]] flow::GateNetlist gate_netlist_from_json(
+    const util::json::Value& v, const liberty::Library& library);
+
+/// Placements; instances are stored by gate index into `netlist`.
+[[nodiscard]] util::json::Value to_json(const flow::PlacementResult& placement,
+                                        const flow::GateNetlist& netlist);
+[[nodiscard]] flow::PlacementResult placement_from_json(
+    const util::json::Value& v, const flow::GateNetlist& netlist);
+
+[[nodiscard]] util::json::Value to_json(const FlowOptions& options);
+[[nodiscard]] FlowOptions flow_options_from_json(const util::json::Value& v);
+
+[[nodiscard]] util::json::Value to_json(const FlowMetrics& metrics);
+[[nodiscard]] FlowMetrics flow_metrics_from_json(const util::json::Value& v);
+
+[[nodiscard]] util::json::Value to_json(const util::Diagnostics& diagnostics);
+[[nodiscard]] util::Diagnostics diagnostics_from_json(
+    const util::json::Value& v);
+
+[[nodiscard]] util::json::Value to_json(const sta::StaResult& result);
+[[nodiscard]] sta::StaResult sta_result_from_json(const util::json::Value& v);
+
+[[nodiscard]] util::json::Value to_json(const JobOutcome& outcome);
+[[nodiscard]] JobOutcome job_outcome_from_json(const util::json::Value& v);
+
+[[nodiscard]] util::json::Value to_json(const FlowReport& report);
+[[nodiscard]] FlowReport flow_report_from_json(const util::json::Value& v);
+
+[[nodiscard]] util::json::Value to_json(const FlowJob& job);
+[[nodiscard]] FlowJob flow_job_from_json(const util::json::Value& v);
+
+// --- the versioned file envelope ------------------------------------------
+
+/// Wraps `payload` in the envelope and writes it to `path` (pretty-
+/// printed). Returns the path. By-value so large payload trees move
+/// into the envelope instead of being copied.
+[[nodiscard]] util::Result<std::string> write_artifact(
+    util::json::Value payload, const std::string& kind,
+    const std::string& path);
+
+/// Reads `path`, validates envelope kind, schema version and checksum,
+/// and returns the payload.
+[[nodiscard]] util::Result<util::json::Value> read_artifact(
+    const std::string& path, const std::string& kind);
+
+// --- whole-file conveniences (what LibraryCache and cnfetc call) ----------
+
+[[nodiscard]] util::Result<std::string> save_library(
+    const liberty::Library& library, const std::string& path);
+[[nodiscard]] util::Result<LibraryHandle> load_library(
+    const std::string& path);
+
+/// jobs.json: the serialized std::vector<FlowJob> a `cnfetc batch` run
+/// executes.
+[[nodiscard]] util::Result<std::string> save_jobs(
+    const std::vector<FlowJob>& jobs, const std::string& path);
+[[nodiscard]] util::Result<std::vector<FlowJob>> load_jobs(
+    const std::string& path);
+
+/// report.json: the serialized FlowReport a batch produced.
+[[nodiscard]] util::Result<std::string> save_report(const FlowReport& report,
+                                                    const std::string& path);
+[[nodiscard]] util::Result<FlowReport> load_report(const std::string& path);
+
+}  // namespace cnfet::api

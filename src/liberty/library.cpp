@@ -222,15 +222,20 @@ std::uint64_t sensitizing_side_values(const logic::TruthTable& f, int input) {
 
 }  // namespace
 
-LibCell characterize_cell(const layout::CellSpec& spec, double drive,
-                          const CharacterizeOptions& options) {
+layout::CellBuildOptions cell_build_options(
+    double drive, const CharacterizeOptions& options) {
   layout::CellBuildOptions build;
   build.tech = options.layout_tech;
   build.style = options.style;
   build.scheme = options.scheme;
   build.drive = drive;
   build.max_finger_width_lambda = 12.0;  // high-drive cells fold
-  auto built = layout::build_cell(spec, build);
+  return build;
+}
+
+LibCell characterize_cell(const layout::CellSpec& spec, double drive,
+                          const CharacterizeOptions& options) {
+  auto built = layout::build_cell(spec, cell_build_options(drive, options));
 
   LibCell lib{spec.name + (drive == 1.0
                                ? std::string("_1X")

@@ -106,6 +106,13 @@ struct ArcMeasurement {
   double energy = 0.0;    ///< J drawn from the supply over the transient
 };
 
+/// The layout-construction options characterize_cell uses for a cell at
+/// `drive`. Exposed so a persisted library (api::serialize) can rebuild
+/// each cell's geometry exactly as characterization built it — the NLDM
+/// tables come from disk, the layout is deterministic and cheap.
+[[nodiscard]] layout::CellBuildOptions cell_build_options(
+    double drive, const CharacterizeOptions& options);
+
 /// Simulates one (cell, input, direction, slew, load) grid point: the
 /// transistor netlist is instantiated in the transient simulator with
 /// `input` toggling, the other inputs pinned to `side_values`, and the

@@ -311,6 +311,24 @@ TEST(ApiGolden, FlowMatchesLegacyPathByteForByte) {
   EXPECT_EQ(via_flow.str(), via_legacy.str());
 }
 
+TEST(ApiStage, ToStringRoundTripsAllSevenStages) {
+  // stage_from_string is the inverse the CLI and jobs.json rely on;
+  // exhaustive over the whole pipeline.
+  const api::Stage all[] = {
+      api::Stage::kCreated,  api::Stage::kMapped,    api::Stage::kTimed,
+      api::Stage::kOptimized, api::Stage::kPlaced,
+      api::Stage::kSignedOff, api::Stage::kExported};
+  ASSERT_EQ(std::size(all), 7u);
+  for (const auto stage : all) {
+    const auto parsed = api::stage_from_string(api::to_string(stage));
+    ASSERT_TRUE(parsed.ok()) << api::to_string(stage);
+    EXPECT_EQ(parsed.value(), stage);
+  }
+  const auto bogus = api::stage_from_string("routed");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_NE(bogus.error().message.find("routed"), std::string::npos);
+}
+
 TEST(ApiResult, ValueAndErrorAccessorsGuard) {
   util::Result<int> good(7);
   EXPECT_TRUE(good.ok());

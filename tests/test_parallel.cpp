@@ -210,6 +210,15 @@ TEST(RunBatchParallel, SerialFailFastSkipsJobsAfterFirstFailure) {
   ASSERT_FALSE(report.jobs[2].diagnostics.empty());
   EXPECT_NE(report.jobs[2].diagnostics.items().front().message.find("skipped"),
             std::string::npos);
+  // The machine-readable marker: only the never-started job carries the
+  // skipped flag — the job that genuinely failed (also at kCreated) does
+  // not, so report consumers can tell the two apart without string
+  // matching.
+  EXPECT_FALSE(report.jobs[0].skipped);
+  EXPECT_FALSE(report.jobs[1].skipped);
+  EXPECT_TRUE(report.jobs[2].skipped);
+  EXPECT_EQ(report.jobs[1].reached, api::Stage::kCreated);
+  EXPECT_EQ(report.jobs[2].reached, api::Stage::kCreated);
 }
 
 }  // namespace

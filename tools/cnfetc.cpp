@@ -1,0 +1,332 @@
+// cnfetc — the shell driver for persistent compiler sessions.
+//
+// Every paper table is reproducible without writing C++:
+//
+//   cnfetc compile --cell NAND3 --tech cnfet65 --out sessions/nand3/
+//   cnfetc batch jobs.json --threads 8 --report report.json
+//   cnfetc resume sessions/nand3/ --to exported
+//
+// `compile` runs one api::Flow and checkpoints it (flow.json, plus
+// design.gds once exported); `resume` reconstructs a checkpoint and
+// continues it bit-identically; `batch` executes a serialized
+// std::vector<FlowJob> (jobs.json) through api::run_batch and writes the
+// serialized FlowReport (report.json). --cache-dir enables the
+// LibraryCache disk tier so repeated invocations skip characterization.
+//
+// Exit codes: 0 success, 1 a flow/job failed, 2 usage error.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "api/serialize.hpp"
+
+namespace {
+
+using namespace cnfet;
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "cnfetc: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cnfetc compile --cell NAME --out DIR [--tech cnfet65|cmos65]\n"
+      "                 [--to STAGE] [--drive D] [--output-drive D]\n"
+      "                 [--optimize] [--top NAME] [--cache-dir DIR]\n"
+      "  cnfetc batch JOBS.json [--threads N] [--report REPORT.json]\n"
+      "                 [--fail-fast] [--cache-dir DIR]\n"
+      "  cnfetc resume DIR [--to STAGE] [--cache-dir DIR]\n"
+      "  cnfetc jobs --out JOBS.json [--tech T]... [--to STAGE]\n"
+      "\n"
+      "`jobs` writes the paper's Table-1 cell family as a jobs.json (one\n"
+      "job per cell per --tech; default cnfet65) for `cnfetc batch`.\n"
+      "STAGE is one of: created mapped timed optimized placed signed-off\n"
+      "exported (default: exported).\n"
+      "--cache-dir (or CNFET_LIBRARY_CACHE_DIR) keeps characterized\n"
+      "libraries on disk as versioned JSON, so only the first run pays the\n"
+      "characterization transients.\n");
+  return 2;
+}
+
+/// Tiny flag cursor: --name value pairs plus boolean switches.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// Positional arguments are whatever never matched a flag lookup.
+  [[nodiscard]] const std::vector<std::string>& raw() const { return args_; }
+
+  [[nodiscard]] bool has_switch(const std::string& name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        consumed_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::string* value_of(const std::string& name) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        consumed_[i] = true;
+        consumed_[i + 1] = true;
+        return &args_[i + 1];
+      }
+    }
+    return nullptr;
+  }
+
+  /// Every value of a repeatable flag (`--tech cnfet65 --tech cmos65`).
+  [[nodiscard]] std::vector<std::string> values_of(const std::string& name) {
+    std::vector<std::string> values;
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        consumed_[i] = true;
+        consumed_[i + 1] = true;
+        values.push_back(args_[i + 1]);
+      }
+    }
+    return values;
+  }
+
+  /// First argument not consumed by a flag ("" when there is none).
+  [[nodiscard]] std::string positional() const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (consumed_.count(i) == 0 && args_[i].rfind("--", 0) != 0) {
+        return args_[i];
+      }
+    }
+    return {};
+  }
+
+  /// An unconsumed --flag nobody asked for (typo detection).
+  [[nodiscard]] std::string unknown_flag() const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (consumed_.count(i) == 0 && args_[i].rfind("--", 0) == 0) {
+        return args_[i];
+      }
+    }
+    return {};
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::map<std::size_t, bool> consumed_;
+};
+
+void apply_cache_dir(Args& args) {
+  if (const auto* dir = args.value_of("--cache-dir")) {
+    api::LibraryCache::global().set_cache_dir(*dir);
+  }
+}
+
+/// stod/stoi without the uncaught-throw abort: a malformed numeric flag
+/// is a usage error, not a SIGABRT.
+bool parse_number(const std::string& text, double* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stod(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_number(const std::string& text, int* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stoi(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Prints the disk-tier notices (loads, stores, fallbacks) once at exit.
+void print_cache_notes() {
+  const auto diags = api::LibraryCache::global().diagnostics();
+  if (!diags.empty()) std::printf("%s", diags.to_string().c_str());
+}
+
+util::Result<api::Stage> target_stage(Args& args) {
+  if (const auto* name = args.value_of("--to")) {
+    return api::stage_from_string(*name);
+  }
+  return api::Stage::kExported;
+}
+
+/// Advances `flow` to `target`, saves the session under `dir` and writes
+/// design.gds when the flow is exported. Shared by compile and resume.
+int finish_flow(api::Flow& flow, api::Stage target, const std::string& dir) {
+  const auto reached = flow.run(target);
+  std::printf("%s", flow.diagnostics().to_string().c_str());
+  const auto saved = flow.save(dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cnfetc: save failed: %s\n",
+                 saved.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("session saved to %s\n", saved.value().c_str());
+  if (flow.exported() != nullptr) {
+    const auto gds_path =
+        (std::filesystem::path(dir) / "design.gds").string();
+    const auto written = flow.write_gds(gds_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cnfetc: %s\n",
+                   written.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", written.value().c_str());
+  }
+  const auto m = flow.metrics();
+  std::printf("%s @ %s: stage %s, %d gates, delay %.3gps, "
+              "area %.0f lambda^2, %d DRC violations\n",
+              m.name.c_str(), layout::to_string(m.tech),
+              api::to_string(m.stage), m.gates, m.worst_arrival_s * 1e12,
+              m.placed_area_lambda2, m.drc_violations);
+  print_cache_notes();
+  return reached.ok() ? 0 : 1;
+}
+
+int cmd_compile(Args& args) {
+  apply_cache_dir(args);
+  const auto* cell = args.value_of("--cell");
+  const auto* out_dir = args.value_of("--out");
+  if (cell == nullptr) return usage("compile requires --cell");
+  if (out_dir == nullptr) return usage("compile requires --out");
+  api::FlowOptions options;
+  if (const auto* tech = args.value_of("--tech")) {
+    auto parsed = api::tech_from_string(*tech);
+    if (!parsed.ok()) return usage(parsed.error().message.c_str());
+    options.tech = parsed.value();
+  }
+  if (const auto* drive = args.value_of("--drive")) {
+    if (!parse_number(*drive, &options.drive)) {
+      return usage(("--drive is not a number: " + *drive).c_str());
+    }
+  }
+  if (const auto* drive = args.value_of("--output-drive")) {
+    if (!parse_number(*drive, &options.output_drive)) {
+      return usage(("--output-drive is not a number: " + *drive).c_str());
+    }
+  }
+  if (args.has_switch("--optimize")) options.optimize = true;
+  if (const auto* top = args.value_of("--top")) options.top_name = *top;
+  const auto target = target_stage(args);
+  if (!target.ok()) return usage(target.error().message.c_str());
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+  auto flow = api::Flow::from_cell(*cell, options);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", flow.error().to_string().c_str());
+    return 1;
+  }
+  return finish_flow(flow.value(), target.value(), *out_dir);
+}
+
+int cmd_resume(Args& args) {
+  apply_cache_dir(args);
+  // Flags first: positional() only knows a token is a flag *value* (not
+  // the positional) once the flag lookups have consumed it.
+  const auto target = target_stage(args);
+  if (!target.ok()) return usage(target.error().message.c_str());
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+  const std::string dir = args.positional();
+  if (dir.empty()) return usage("resume requires a session directory");
+  auto flow = api::Flow::resume(dir);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", flow.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("resumed %s at stage %s\n", flow.value().name().c_str(),
+              api::to_string(flow.value().stage()));
+  return finish_flow(flow.value(), target.value(), dir);
+}
+
+int cmd_jobs(Args& args) {
+  const auto* out = args.value_of("--out");
+  if (out == nullptr) return usage("jobs requires --out");
+  std::vector<layout::Tech> techs;
+  for (const auto& name : args.values_of("--tech")) {
+    auto parsed = api::tech_from_string(name);
+    if (!parsed.ok()) return usage(parsed.error().message.c_str());
+    techs.push_back(parsed.value());
+  }
+  if (techs.empty()) techs.push_back(layout::Tech::kCnfet65);
+  auto jobs = api::family_jobs(techs);
+  if (const auto* target = args.value_of("--to")) {
+    auto stage = api::stage_from_string(*target);
+    if (!stage.ok()) return usage(stage.error().message.c_str());
+    for (auto& job : jobs) job.target = stage.value();
+  }
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+  const auto saved = api::save_jobs(jobs, *out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", saved.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu jobs to %s\n", jobs.size(), saved.value().c_str());
+  return 0;
+}
+
+int cmd_batch(Args& args) {
+  apply_cache_dir(args);
+  // Flags first — see cmd_resume.
+  api::BatchOptions options;
+  if (const auto* threads = args.value_of("--threads")) {
+    if (!parse_number(*threads, &options.num_threads)) {
+      return usage(("--threads is not an integer: " + *threads).c_str());
+    }
+  }
+  if (args.has_switch("--fail-fast")) options.fail_fast = true;
+  const auto* report_path = args.value_of("--report");
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+  const std::string jobs_path = args.positional();
+  if (jobs_path.empty()) return usage("batch requires a jobs.json path");
+  auto jobs = api::load_jobs(jobs_path);
+  if (!jobs.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", jobs.error().to_string().c_str());
+    return 1;
+  }
+  const auto report = api::run_batch(jobs.value(), options);
+  std::printf("%s", report.to_string().c_str());
+  if (report_path != nullptr) {
+    const auto saved = api::save_report(report, *report_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cnfetc: %s\n", saved.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", saved.value().c_str());
+  }
+  print_cache_notes();
+  return report.num_failed() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "compile") return cmd_compile(args);
+  if (command == "batch") return cmd_batch(args);
+  if (command == "resume") return cmd_resume(args);
+  if (command == "jobs") return cmd_jobs(args);
+  if (command == "help" || command == "--help" || command == "-h") {
+    (void)usage();
+    return 0;
+  }
+  return usage(("unknown command \"" + command + "\"").c_str());
+}
