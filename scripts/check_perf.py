@@ -9,8 +9,10 @@ Fails (exit 1) when:
     absolute milliseconds;
   * the repo's acceptance floors are missed (>= 3x single-arc transient,
     >= 5x cold characterization, >= 10x library disk-cache load vs serial
-    characterization);
-  * any accuracy/equivalence flag in the bench output is false.
+    characterization, >= 5x warm daemon-served compile vs a cold local
+    compile);
+  * any accuracy/equivalence flag in the bench output is false (including
+    the daemon byte-identity flags from bench_serve's "serve" section).
 
 Usage: python3 scripts/check_perf.py [BENCH_perf.json]
 """
@@ -29,6 +31,11 @@ FLOOR_TIMING_GRAPH = 10.0
 # Acceptance floor: a library disk-cache hit must beat serial
 # characterization by >= 10x (in practice it is orders of magnitude).
 FLOOR_LIBRARY_CACHE = 10.0
+# Acceptance floor: a compile served by a warm cnfetd must beat a cold
+# local compile (library cache cleared) by >= 5x. No baseline ratio —
+# bench_serve is newer than the perf baseline and the absolute floor is
+# the contract.
+FLOOR_SERVE_WARM = 5.0
 
 
 def fail(msg: str) -> None:
@@ -50,6 +57,7 @@ def main() -> int:
     char = bench["characterization"]
     tgraph = bench["timing_graph"]
     libcache = bench["library_cache"]
+    serve = bench["serve"]
 
     checks = [
         ("single-arc transient speedup", tran["speedup"],
@@ -64,6 +72,8 @@ def main() -> int:
         ("library disk-cache load speedup", libcache["speedup"],
          max(baseline["library_cache_load_speedup"] / REGRESSION_ALLOWANCE,
              FLOOR_LIBRARY_CACHE)),
+        ("daemon warm-vs-cold compile speedup",
+         serve["warm_vs_cold_speedup"], FLOOR_SERVE_WARM),
     ]
     for name, actual, minimum in checks:
         status = "ok" if actual >= minimum else "REGRESSED"
@@ -80,6 +90,8 @@ def main() -> int:
         ("timing_graph", "identical"),
         ("monte_carlo", "identical"),
         ("run_batch", "identical"),
+        ("serve", "gds_identical"),
+        ("serve", "metrics_identical"),
     ]:
         value = bench[section][flag]
         print(f"{section}.{flag}: {value}")

@@ -30,6 +30,7 @@
 #include "gds/gds.hpp"
 #include "opt/opt.hpp"
 #include "sta/sta.hpp"
+#include "util/json.hpp"
 #include "util/result.hpp"
 
 namespace cnfet::api {
@@ -270,6 +271,11 @@ class Flow {
   /// (Implemented in api/serialize.cpp.)
   [[nodiscard]] util::Result<std::string> save(const std::string& dir) const;
 
+  /// The flow.json payload save() wraps in the artifact envelope, as an
+  /// in-memory value — what the cnfetd compile server ships over the wire
+  /// so a served session is byte-identical to a locally saved one.
+  [[nodiscard]] util::Result<util::json::Value> session_json() const;
+
   /// Rebuilds a session saved by save(). The characterized library is
   /// re-resolved through LibraryCache::global() for the saved technology
   /// (characterization is deterministic, so the reconstruction is exact)
@@ -280,6 +286,13 @@ class Flow {
   /// reproduces the identical GDS stream. Schema-version or checksum
   /// mismatches come back as error Diagnostics.
   [[nodiscard]] static util::Result<Flow> resume(const std::string& dir);
+
+  /// resume() minus the file: rebuilds a session from the flow.json
+  /// payload itself (the value session_json() produced). `origin` names
+  /// the payload's source in error messages ("<request>" on the compile
+  /// server, the file path in resume()).
+  [[nodiscard]] static util::Result<Flow> resume_json(
+      const util::json::Value& payload, const std::string& origin);
 
  private:
   Flow(std::string name, FlowOptions options, LibraryHandle library);

@@ -839,6 +839,18 @@ util::Result<FlowReport> load_report(const std::string& path) {
 // to the other converters; flow.hpp declares them.
 
 util::Result<std::string> Flow::save(const std::string& dir) const {
+  auto payload = session_json();
+  if (!payload.ok()) return payload.error();
+  try {
+    std::filesystem::create_directories(dir);
+    return write_artifact(std::move(payload).value(), "flow",
+                          (std::filesystem::path(dir) / "flow.json").string());
+  } catch (const std::exception& e) {
+    return util::Result<std::string>::failure("serialize", e.what());
+  }
+}
+
+util::Result<util::json::Value> Flow::session_json() const {
   try {
     json::Value payload = json::Value::object();
     payload.set("name", name_);
@@ -913,12 +925,9 @@ util::Result<std::string> Flow::save(const std::string& dir) const {
     // The Exported artifact is not stored: it is a pure function of the
     // saved placement and top name, and resume() regenerates the identical
     // GDS stream from them (proven by the round-trip golden test).
-    std::filesystem::create_directories(dir);
-    return write_artifact(payload,
-                          "flow", (std::filesystem::path(dir) / "flow.json")
-                                      .string());
+    return payload;
   } catch (const std::exception& e) {
-    return util::Result<std::string>::failure("serialize", e.what());
+    return util::Result<util::json::Value>::failure("serialize", e.what());
   }
 }
 
@@ -926,7 +935,11 @@ util::Result<Flow> Flow::resume(const std::string& dir) {
   const std::string path = (std::filesystem::path(dir) / "flow.json").string();
   auto payload_result = read_artifact(path, "flow");
   if (!payload_result.ok()) return payload_result.error();
-  const json::Value& payload = payload_result.value();
+  return resume_json(payload_result.value(), path);
+}
+
+util::Result<Flow> Flow::resume_json(const json::Value& payload,
+                                     const std::string& path) {
   try {
     FlowOptions options = flow_options_from_json(payload.at("options"));
     auto library = LibraryCache::global().get(options.tech);

@@ -1,0 +1,64 @@
+#include "serve/client.hpp"
+
+namespace cnfet::serve {
+
+namespace json = util::json;
+
+namespace {
+
+/// Response frames carry whole sessions plus hex GDS streams; cap well
+/// above any real design but below "the server can exhaust my memory".
+constexpr std::size_t kMaxResponseBytes = 256 * 1024 * 1024;
+
+}  // namespace
+
+Client::Client(util::net::Socket socket)
+    : socket_(std::make_unique<util::net::Socket>(std::move(socket))),
+      reader_(std::make_unique<util::net::LineReader>(*socket_,
+                                                      kMaxResponseBytes)) {}
+
+util::Result<Client> Client::connect(const std::string& endpoint) {
+  auto parsed = util::net::parse_endpoint(endpoint);
+  if (!parsed.ok()) return parsed.error();
+  auto socket =
+      util::net::connect_tcp(parsed.value().first, parsed.value().second);
+  if (!socket.ok()) return socket.error();
+  return Client(std::move(socket).value());
+}
+
+util::Result<json::Value> Client::call(const json::Value& request,
+                                       int timeout_ms) {
+  using R = util::Result<json::Value>;
+  std::string line;
+  try {
+    line = json::dump(request) + "\n";
+  } catch (const std::exception& e) {
+    return R::failure("serve", std::string("unserializable request: ") +
+                                   e.what());
+  }
+  auto sent = util::net::send_all(*socket_, line);
+  if (!sent.ok()) return sent.error();
+  auto read = reader_->read_line(timeout_ms);
+  if (!read.ok()) return read.error();
+  switch (read.value().status) {
+    case util::net::ReadStatus::kLine:
+      return parse_response(read.value().line);
+    case util::net::ReadStatus::kClosed:
+      return R::failure("serve", "server closed the connection mid-call");
+    case util::net::ReadStatus::kTimeout:
+      return R::failure("serve", "timed out waiting for the response");
+    case util::net::ReadStatus::kOverflow:
+      return R::failure("serve", "response exceeded the client frame limit");
+  }
+  return R::failure("serve", "unreachable read status");
+}
+
+bool Client::ping() {
+  auto response = call(make_request(RequestKind::kPing), 5000);
+  if (!response.ok()) return false;
+  const json::Value* result = response.value().find("result");
+  return response.value().get_bool("ok") && result != nullptr &&
+         result->is_object() && result->find("pong") != nullptr;
+}
+
+}  // namespace cnfet::serve

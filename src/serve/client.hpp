@@ -1,0 +1,47 @@
+// Client side of the cnfetd wire protocol: connect, send one request line,
+// wait for the matching response line. Used by cnfetc's --server mode, the
+// load-test bench and the protocol tests.
+//
+// One Client is one connection; requests on it are synchronous and
+// answered in order (the server guarantees per-connection ordering).
+// Not thread-safe — concurrent callers each open their own Client.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/net.hpp"
+
+namespace cnfet::serve {
+
+class Client {
+ public:
+  /// Connects to "host:port" (or a bare "port" on 127.0.0.1).
+  [[nodiscard]] static util::Result<Client> connect(
+      const std::string& endpoint);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends `request` (an envelope from make_request plus kind-specific
+  /// fields) and blocks for the response, validating its envelope. An
+  /// ok=false response is still a SUCCESSFUL call — callers inspect
+  /// response.get_bool("ok") and response_diagnostics(); only transport
+  /// or envelope faults are errors.
+  [[nodiscard]] util::Result<util::json::Value> call(
+      const util::json::Value& request, int timeout_ms = -1);
+
+  /// Round-trips a ping; true when the server answered pong.
+  [[nodiscard]] bool ping();
+
+ private:
+  explicit Client(util::net::Socket socket);
+
+  // Heap-held so Client stays movable: LineReader keeps a reference to the
+  // socket, which must not re-seat when a Client moves.
+  std::unique_ptr<util::net::Socket> socket_;
+  std::unique_ptr<util::net::LineReader> reader_;
+};
+
+}  // namespace cnfet::serve

@@ -1,0 +1,83 @@
+#include "serve/daemon.hpp"
+
+#include <csignal>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "layout/rules.hpp"
+
+namespace cnfet::serve {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+extern "C" void on_signal(int sig) { g_signal.store(sig); }
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: accept's poll() must see EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& options) {
+  g_signal.store(0);
+  install_signal_handlers();
+
+  Server server(options.server);
+  auto started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cnfetd: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+  const int port = started.value();
+  std::printf("cnfetd listening on %s:%d (%zu warm librar%s)\n",
+              options.server.host.c_str(), port, options.server.warm.size(),
+              options.server.warm.size() == 1 ? "y" : "ies");
+  std::fflush(stdout);
+
+  if (!options.port_file.empty()) {
+    std::ofstream out(options.port_file, std::ios::trunc);
+    out << port << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cnfetd: cannot write port file %s\n",
+                   options.port_file.c_str());
+      server.stop();
+      return 1;
+    }
+  }
+
+  while (g_signal.load() == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const int sig = g_signal.load();
+  std::printf("cnfetd: %s, draining in-flight requests...\n",
+              sig == SIGINT    ? "SIGINT"
+              : sig == SIGTERM ? "SIGTERM"
+                               : "shutdown requested");
+  std::fflush(stdout);
+
+  server.stop();
+
+  const ServerStats stats = server.stats();
+  std::printf(
+      "cnfetd: stopped after %lld connection(s), %lld request(s) "
+      "(%lld ok, %lld error, %lld rejected overloaded, %lld malformed)\n",
+      static_cast<long long>(stats.connections_accepted),
+      static_cast<long long>(stats.requests_total),
+      static_cast<long long>(stats.requests_ok),
+      static_cast<long long>(stats.requests_error),
+      static_cast<long long>(stats.rejected_overload),
+      static_cast<long long>(stats.malformed_requests));
+  return 0;
+}
+
+}  // namespace cnfet::serve

@@ -1,0 +1,24 @@
+// The cnfetd process wrapper around serve::Server: signal handling,
+// startup banner, and the wait loop that turns SIGINT/SIGTERM (or a
+// client "shutdown" request) into a graceful Server::stop().
+#pragma once
+
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace cnfet::serve {
+
+struct DaemonOptions {
+  ServerOptions server;
+  /// When non-empty, the bound port is written here (as a single decimal
+  /// line) once the server is accepting — lets scripts using an ephemeral
+  /// port discover where the daemon landed.
+  std::string port_file;
+};
+
+/// Runs the daemon until a signal or a shutdown request, then drains.
+/// Returns a process exit code (0 = clean shutdown, 1 = failed to start).
+[[nodiscard]] int run_daemon(const DaemonOptions& options);
+
+}  // namespace cnfet::serve

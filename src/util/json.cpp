@@ -275,9 +275,18 @@ namespace {
 /// error messages so a truncated artifact names where it broke off.
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Value parse_document() {
+    if (limits_.max_bytes != 0 && text_.size() > limits_.max_bytes) {
+      // Report at the limit boundary: that is where a reader streaming the
+      // document would have stopped accepting bytes.
+      pos_ = limits_.max_bytes;
+      fail("document size " + std::to_string(text_.size()) +
+           " exceeds the " + std::to_string(limits_.max_bytes) +
+           "-byte limit");
+    }
     Value v = parse_value(0);
     skip_ws();
     if (pos_ != text_.size()) {
@@ -287,8 +296,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 200;
-
   [[noreturn]] void fail(const std::string& what) const {
     throw Error("json parse error at offset " + std::to_string(pos_) + ": " +
                 what);
@@ -324,7 +331,10 @@ class Parser {
   }
 
   Value parse_value(int depth) {
-    if (depth > kMaxDepth) fail("nesting too deep");
+    if (depth > limits_.max_depth) {
+      fail("nesting deeper than the limit of " +
+           std::to_string(limits_.max_depth));
+    }
     skip_ws();
     const char c = peek();
     switch (c) {
@@ -539,12 +549,15 @@ class Parser {
   }
 
   const std::string& text_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-Value parse(const std::string& text) { return Parser(text).parse_document(); }
+Value parse(const std::string& text, const ParseLimits& limits) {
+  return Parser(text, limits).parse_document();
+}
 
 std::uint64_t fnv1a64(const std::string& bytes) {
   std::uint64_t hash = 0xcbf29ce484222325ull;

@@ -113,10 +113,23 @@ class Value {
 /// tests can reason about the representation directly.
 [[nodiscard]] std::string format_number(double value);
 
+/// Resource bounds for parse(). The defaults suit trusted artifact files;
+/// code parsing untrusted bytes (the cnfetd socket protocol) passes
+/// tighter limits so a hostile document can neither stack-overflow the
+/// parser (nesting) nor balloon memory (size). Violations surface as the
+/// same offset-bearing util::Error every other malformed input gets.
+struct ParseLimits {
+  /// Maximum container nesting depth before the parser refuses.
+  int max_depth = 200;
+  /// Maximum document size in bytes; 0 means unlimited.
+  std::size_t max_bytes = 0;
+};
+
 /// Strict parse of a complete JSON document: one top-level value, nothing
 /// but whitespace after it. Throws util::Error with the byte offset on
-/// malformed or truncated input.
-[[nodiscard]] Value parse(const std::string& text);
+/// malformed or truncated input, and enforces `limits` on untrusted text.
+[[nodiscard]] Value parse(const std::string& text,
+                          const ParseLimits& limits = {});
 
 /// FNV-1a 64-bit over a byte string — the checksum the versioned artifact
 /// files embed (hex-encoded). Not cryptographic; it guards against

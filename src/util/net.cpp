@@ -1,0 +1,246 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace cnfet::util::net {
+
+namespace {
+
+Diagnostic net_error(const std::string& what) {
+  return Diagnostic{Severity::kError, "net",
+                    what + ": " + std::strerror(errno)};
+}
+
+/// Waits for `events` on `fd`; true when ready, false on timeout.
+/// Retries EINTR so a SIGINT aimed at the daemon's graceful-stop flag
+/// does not surface as a phantom socket error here.
+Result<bool> wait_ready(int fd, short events, int timeout_ms) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return net_error("poll");
+  }
+}
+
+/// One process-wide suppression of SIGPIPE: a peer hanging up mid-response
+/// must surface as an EPIPE send error, not kill the daemon.
+void ignore_sigpipe() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+Result<sockaddr_in> make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // No resolver dependency — but "localhost" is too common to reject.
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return Result<sockaddr_in>::failure(
+        "net", "not an IPv4 address: \"" + host + "\"");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Result<Socket> listen_tcp(const std::string& host, std::uint16_t port,
+                          int backlog) {
+  ignore_sigpipe();
+  auto addr = make_addr(host, port);
+  if (!addr.ok()) return addr.error();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return net_error("socket");
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(sockaddr_in)) != 0) {
+    return net_error("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) return net_error("listen");
+  return sock;
+}
+
+Result<int> local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return net_error("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<Socket> accept_tcp(const Socket& listener, int timeout_ms) {
+  auto ready = wait_ready(listener.fd(), POLLIN, timeout_ms);
+  if (!ready.ok()) return ready.error();
+  if (!ready.value()) return Socket();  // timeout
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // A listener shut down or closed during a graceful stop reports as an
+    // invalid socket, same as a timeout: the accept loop decides to exit.
+    if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED ||
+        errno == EINTR) {
+      return Socket();
+    }
+    return net_error("accept");
+  }
+  return Socket(fd);
+}
+
+Result<Socket> connect_tcp(const std::string& host, std::uint16_t port,
+                           int timeout_ms) {
+  ignore_sigpipe();
+  auto addr = make_addr(host, port);
+  if (!addr.ok()) return addr.error();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return net_error("socket");
+  // Blocking connect: loopback connections complete (or fail) immediately,
+  // so `timeout_ms` only needs to bound the interrupted-retry loop.
+  (void)timeout_ms;
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr.value()),
+                  sizeof(sockaddr_in)) == 0) {
+      return sock;
+    }
+    if (errno != EINTR) {
+      return net_error("connect " + host + ":" + std::to_string(port));
+    }
+  }
+}
+
+Result<std::size_t> send_all(const Socket& socket, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return net_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return sent;
+}
+
+Result<ReadLine> LineReader::read_line(int idle_timeout_ms) {
+  for (;;) {
+    // Serve a complete line already buffered before touching the socket.
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (discarding_) {
+        // This newline ends the oversized frame; report the overflow now
+        // that the connection is re-synchronized on a frame boundary.
+        discarding_ = false;
+        return ReadLine{ReadStatus::kOverflow, {}};
+      }
+      return ReadLine{ReadStatus::kLine, std::move(line)};
+    }
+    if (!discarding_ && buffer_.size() > max_line_bytes_) {
+      // Frame already too large and still no newline: stop accumulating,
+      // drop what we have, and skip bytes until the frame ends.
+      discarding_ = true;
+      buffer_.clear();
+    }
+
+    auto ready = wait_ready(socket_.fd(), POLLIN, idle_timeout_ms);
+    if (!ready.ok()) return ready.error();
+    if (!ready.value()) return ReadLine{ReadStatus::kTimeout, {}};
+
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return net_error("recv");
+    }
+    if (n == 0) {
+      // EOF. A partial (or oversized-and-discarded) final frame without its
+      // newline is truncated input — the caller reports it; an empty buffer
+      // is a clean close.
+      if (discarding_) {
+        discarding_ = false;
+        return ReadLine{ReadStatus::kOverflow, {}};
+      }
+      if (!buffer_.empty()) {
+        buffer_.clear();
+        return Result<ReadLine>::failure(
+            "net", "connection closed mid-frame (truncated request)");
+      }
+      return ReadLine{ReadStatus::kClosed, {}};
+    }
+    if (discarding_) {
+      // Keep only bytes after a newline, if one arrived in this chunk.
+      const char* p =
+          static_cast<const char*>(std::memchr(chunk, '\n', std::size_t(n)));
+      if (p != nullptr) {
+        // Includes the '\n'; the loop top turns it into the kOverflow report.
+        buffer_.assign(p, static_cast<const char*>(chunk) + n);
+      }
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::pair<std::string, std::uint16_t>> parse_endpoint(
+    const std::string& endpoint) {
+  using R = Result<std::pair<std::string, std::uint16_t>>;
+  const std::size_t colon = endpoint.rfind(':');
+  const std::string host =
+      colon == std::string::npos ? "127.0.0.1" : endpoint.substr(0, colon);
+  const std::string port_text =
+      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+  if (host.empty() || port_text.empty()) {
+    return R::failure("net", "expected HOST:PORT, got \"" + endpoint + "\"");
+  }
+  long port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      return R::failure("net",
+                        "port is not a number in \"" + endpoint + "\"");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return R::failure("net", "port out of range in \"" + endpoint + "\"");
+    }
+  }
+  if (port == 0) {
+    return R::failure("net", "port 0 is not connectable in \"" + endpoint +
+                                 "\"");
+  }
+  return std::make_pair(host, static_cast<std::uint16_t>(port));
+}
+
+}  // namespace cnfet::util::net

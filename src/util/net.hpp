@@ -1,0 +1,121 @@
+// Minimal POSIX TCP layer for the cnfetd compile server and its clients.
+//
+// Scope is deliberately narrow: loopback (or explicitly-addressed) IPv4
+// stream sockets, blocking I/O with poll()-based timeouts, and newline
+// framing. The server's wire format is one compact JSON document per line
+// (util/json's writer never emits a raw newline — control characters in
+// strings are \n-escaped — so '\n' is an unambiguous frame delimiter).
+//
+// Error handling follows the api:: boundary contract: every fallible call
+// returns util::Result, never throws, and failure messages carry errno
+// text. LineReader additionally distinguishes the three non-error ways a
+// read can end (clean EOF, idle timeout, oversized frame) so the server
+// can answer each differently instead of collapsing them into "broken".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/result.hpp"
+
+namespace cnfet::util::net {
+
+/// Move-only RAII owner of one socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  void close();
+
+  /// Half-closes the read side (a listener uses this to kick accept(),
+  /// a server uses it on connections so in-flight responses still write).
+  void shutdown_read();
+  /// Half-closes the write side (client signalling "no more requests").
+  void shutdown_write();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host`:`port` (port 0 picks an ephemeral port).
+[[nodiscard]] Result<Socket> listen_tcp(const std::string& host,
+                                        std::uint16_t port, int backlog = 64);
+
+/// The locally bound port of a listening socket (resolves port 0).
+[[nodiscard]] Result<int> local_port(const Socket& socket);
+
+/// Blocks until a client connects or `timeout_ms` passes (< 0 = forever).
+/// A timeout or a closed/shut-down listener returns an invalid Socket —
+/// only a real socket-layer fault is an error.
+[[nodiscard]] Result<Socket> accept_tcp(const Socket& listener,
+                                        int timeout_ms = -1);
+
+/// Connects to `host`:`port` within `timeout_ms`.
+[[nodiscard]] Result<Socket> connect_tcp(const std::string& host,
+                                         std::uint16_t port,
+                                         int timeout_ms = 5000);
+
+/// Writes all of `data`, looping over partial sends.
+[[nodiscard]] Result<std::size_t> send_all(const Socket& socket,
+                                           const std::string& data);
+
+/// How a LineReader::read_line attempt ended.
+enum class ReadStatus {
+  kLine,      ///< a complete '\n'-terminated line (returned without the \n)
+  kClosed,    ///< peer closed cleanly with no partial line pending
+  kTimeout,   ///< no complete line within the idle timeout
+  kOverflow,  ///< the frame exceeded max_line_bytes (offending bytes dropped)
+};
+
+struct ReadLine {
+  ReadStatus status = ReadStatus::kClosed;
+  std::string line;  ///< filled only for kLine
+};
+
+/// Buffered newline framing over a blocking socket. One reader per
+/// connection; not thread-safe.
+class LineReader {
+ public:
+  /// `max_line_bytes` caps a single frame — the first defense against a
+  /// hostile client streaming an unbounded request (the JSON ParseLimits
+  /// are the second).
+  LineReader(const Socket& socket, std::size_t max_line_bytes)
+      : socket_(socket), max_line_bytes_(max_line_bytes) {}
+
+  /// Next complete line, waiting at most `idle_timeout_ms` between arriving
+  /// bytes (< 0 = forever). On kOverflow the rest of the oversized frame is
+  /// discarded up to its terminating newline, so the connection stays
+  /// usable for the next request.
+  [[nodiscard]] Result<ReadLine> read_line(int idle_timeout_ms);
+
+ private:
+  const Socket& socket_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;  ///< inside an oversized frame
+};
+
+/// Splits "host:port" (or a bare "port", host defaulting to 127.0.0.1)
+/// into its parts; rejects non-numeric or out-of-range ports.
+[[nodiscard]] Result<std::pair<std::string, std::uint16_t>> parse_endpoint(
+    const std::string& endpoint);
+
+}  // namespace cnfet::util::net

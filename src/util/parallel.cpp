@@ -43,9 +43,27 @@ void ThreadPool::submit(std::function<void()> task) {
   work_ready_.notify_one();
 }
 
+bool ThreadPool::try_submit(std::function<void()> task) {
+  CNFET_REQUIRE(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::drain() { shutdown(); }
+
+bool ThreadPool::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
 }
 
 void ThreadPool::shutdown() {

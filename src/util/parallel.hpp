@@ -50,15 +50,35 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task. Invalid after shutdown().
+  /// Enqueues a task. Invalid after shutdown()/drain() (contract
+  /// violation); callers racing a graceful stop use try_submit instead.
   void submit(std::function<void()> task);
+
+  /// Enqueues unless the pool is draining or shut down, in which case it
+  /// returns false and the task is NOT queued. The graceful-stop-safe
+  /// submit: the cnfetd request dispatcher rejects late work with a
+  /// structured error instead of tripping a contract check.
+  [[nodiscard]] bool try_submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and every in-flight task finished.
   void wait_idle();
 
+  /// Graceful stop: new work is rejected (submit trips a contract check,
+  /// try_submit returns false) but every already-queued task still runs;
+  /// returns after the queue is empty and all workers joined. Idempotent,
+  /// and what the cnfetd signal handler path calls to finish in-flight
+  /// flows before exiting.
+  void drain();
+
   /// Finishes every queued task, joins all workers. Idempotent; the
-  /// destructor calls it.
+  /// destructor calls it. (Same completion semantics as drain(); the two
+  /// names exist so call sites say whether they are a scope ending or a
+  /// deliberate lifecycle transition.)
   void shutdown();
+
+  /// True once drain()/shutdown() has begun: the pool no longer accepts
+  /// work, though queued tasks may still be running.
+  [[nodiscard]] bool draining() const;
 
  private:
   void worker_loop();

@@ -43,6 +43,26 @@ TEST(ThreadPool, ShutdownDrainsQueuedTasksAndIsIdempotent) {
   pool.shutdown();  // second call is a no-op (and so is the destructor)
 }
 
+TEST(ThreadPool, DrainFinishesQueuedWorkAndRejectsNew) {
+  std::atomic<int> ran{0};
+  util::ThreadPool pool(2);
+  EXPECT_FALSE(pool.draining());
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_TRUE(pool.try_submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++ran;
+    }));
+  }
+  pool.drain();  // blocks until the 24 queued tasks finish
+  EXPECT_EQ(ran.load(), 24);
+  EXPECT_TRUE(pool.draining());
+  // A drained pool admits nothing — the daemon relies on this to bound
+  // shutdown: readers racing stop() get a clean false, never a lost task.
+  EXPECT_FALSE(pool.try_submit([&] { ++ran; }));
+  EXPECT_EQ(ran.load(), 24);
+  pool.drain();  // idempotent
+}
+
 TEST(ThreadPool, DestructorJoinsWithoutLosingWork) {
   std::atomic<int> ran{0};
   {

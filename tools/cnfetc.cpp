@@ -13,32 +13,46 @@
 // serialized FlowReport (report.json). --cache-dir enables the
 // LibraryCache disk tier so repeated invocations skip characterization.
 //
+// `serve` runs the cnfetd compile server in-process; `--server HOST:PORT`
+// on compile/resume routes the flow to a running daemon (same GDS bytes
+// and metrics as the local path, but against the daemon's warm library
+// cache); `ping`/`stop` are the matching health check and graceful stop.
+//
 // Exit codes: 0 success, 1 a flow/job failed, 2 usage error.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "api/batch.hpp"
 #include "api/serialize.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 
 namespace {
 
 using namespace cnfet;
 
-int usage(const char* error = nullptr) {
-  if (error != nullptr) std::fprintf(stderr, "cnfetc: %s\n\n", error);
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage:\n"
       "  cnfetc compile --cell NAME --out DIR [--tech cnfet65|cmos65]\n"
       "                 [--to STAGE] [--drive D] [--output-drive D]\n"
       "                 [--optimize] [--top NAME] [--cache-dir DIR]\n"
+      "                 [--server HOST:PORT]\n"
       "  cnfetc batch JOBS.json [--threads N] [--report REPORT.json]\n"
       "                 [--fail-fast] [--cache-dir DIR]\n"
       "  cnfetc resume DIR [--to STAGE] [--cache-dir DIR]\n"
+      "                 [--server HOST:PORT]\n"
       "  cnfetc jobs --out JOBS.json [--tech T]... [--to STAGE]\n"
+      "  cnfetc serve [--host H] [--port P] [--threads N]\n"
+      "                 [--max-pending N] [--warm TECH]... [--no-warm]\n"
+      "                 [--cache-dir DIR] [--port-file FILE]\n"
+      "  cnfetc ping --server HOST:PORT\n"
+      "  cnfetc stop --server HOST:PORT\n"
       "\n"
       "`jobs` writes the paper's Table-1 cell family as a jobs.json (one\n"
       "job per cell per --tech; default cnfet65) for `cnfetc batch`.\n"
@@ -46,7 +60,19 @@ int usage(const char* error = nullptr) {
       "exported (default: exported).\n"
       "--cache-dir (or CNFET_LIBRARY_CACHE_DIR) keeps characterized\n"
       "libraries on disk as versioned JSON, so only the first run pays the\n"
-      "characterization transients.\n");
+      "characterization transients.\n"
+      "`serve` starts the compile daemon (cnfetd in-process): it warms the\n"
+      "library cache for every --warm tech (default: all) and serves\n"
+      "compile/resume/sta/monte_carlo/batch requests over a line-delimited\n"
+      "JSON protocol until SIGINT/SIGTERM or `cnfetc stop`. With --server,\n"
+      "compile and resume send the flow to a daemon instead of running it\n"
+      "locally; the session dir they write (flow.json, design.gds) is\n"
+      "byte-identical to the local path's.\n");
+}
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "cnfetc: %s\n\n", error);
+  print_usage(stderr);
   return 2;
 }
 
@@ -193,6 +219,74 @@ int finish_flow(api::Flow& flow, api::Stage target, const std::string& dir) {
   return reached.ok() ? 0 : 1;
 }
 
+/// Unpacks a daemon compile/resume response into the same session dir a
+/// local finish_flow writes: flow.json (the artifact-wrapped session the
+/// server shipped back), design.gds (decoded from gds_hex), and the same
+/// one-line metrics summary. Exit codes match the local path.
+int finish_served_flow(const util::json::Value& response,
+                       const std::string& dir) {
+  const auto diags = serve::response_diagnostics(response);
+  std::printf("%s", diags.to_string().c_str());
+  const util::json::Value* result = response.find("result");
+  if (result == nullptr || !result->is_object()) {
+    std::fprintf(stderr, "cnfetc: response carries no result object\n");
+    return 1;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (const util::json::Value* session = result->find("session")) {
+    const auto path = (std::filesystem::path(dir) / "flow.json").string();
+    const auto saved = api::write_artifact(*session, "flow", path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cnfetc: save failed: %s\n",
+                   saved.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("session saved to %s\n", saved.value().c_str());
+  }
+  if (const util::json::Value* gds_hex = result->find("gds_hex")) {
+    auto bytes = serve::from_hex(gds_hex->as_string());
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "cnfetc: %s\n", bytes.error().to_string().c_str());
+      return 1;
+    }
+    const auto path = (std::filesystem::path(dir) / "design.gds").string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.value().data(),
+              static_cast<std::streamsize>(bytes.value().size()));
+    if (!out) {
+      std::fprintf(stderr, "cnfetc: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (const util::json::Value* metrics = result->find("metrics")) {
+    const auto m = api::flow_metrics_from_json(*metrics);
+    std::printf("%s @ %s: stage %s, %d gates, delay %.3gps, "
+                "area %.0f lambda^2, %d DRC violations\n",
+                m.name.c_str(), layout::to_string(m.tech),
+                api::to_string(m.stage), m.gates, m.worst_arrival_s * 1e12,
+                m.placed_area_lambda2, m.drc_violations);
+  }
+  return response.get_bool("ok") ? 0 : 1;
+}
+
+/// One request against a daemon; transport and envelope faults exit 1.
+int call_server(const std::string& endpoint, util::json::Value request,
+                const std::string& session_dir) {
+  auto client = serve::Client::connect(endpoint);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", client.error().to_string().c_str());
+    return 1;
+  }
+  auto response = client.value().call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", response.error().to_string().c_str());
+    return 1;
+  }
+  return finish_served_flow(response.value(), session_dir);
+}
+
 int cmd_compile(Args& args) {
   apply_cache_dir(args);
   const auto* cell = args.value_of("--cell");
@@ -219,8 +313,18 @@ int cmd_compile(Args& args) {
   if (const auto* top = args.value_of("--top")) options.top_name = *top;
   const auto target = target_stage(args);
   if (!target.ok()) return usage(target.error().message.c_str());
+  const auto* server = args.value_of("--server");
   if (const auto flag = args.unknown_flag(); !flag.empty()) {
     return usage(("unknown flag " + flag).c_str());
+  }
+  if (server != nullptr) {
+    api::FlowJob job;
+    job.cell = *cell;
+    job.options = options;
+    job.target = target.value();
+    auto request = serve::make_request(serve::RequestKind::kCompile);
+    request.set("job", api::to_json(job));
+    return call_server(*server, std::move(request), *out_dir);
   }
   auto flow = api::Flow::from_cell(*cell, options);
   if (!flow.ok()) {
@@ -236,11 +340,25 @@ int cmd_resume(Args& args) {
   // the positional) once the flag lookups have consumed it.
   const auto target = target_stage(args);
   if (!target.ok()) return usage(target.error().message.c_str());
+  const auto* server = args.value_of("--server");
   if (const auto flag = args.unknown_flag(); !flag.empty()) {
     return usage(("unknown flag " + flag).c_str());
   }
   const std::string dir = args.positional();
   if (dir.empty()) return usage("resume requires a session directory");
+  if (server != nullptr) {
+    const auto path = (std::filesystem::path(dir) / "flow.json").string();
+    auto session = api::read_artifact(path, "flow");
+    if (!session.ok()) {
+      std::fprintf(stderr, "cnfetc: %s\n",
+                   session.error().to_string().c_str());
+      return 1;
+    }
+    auto request = serve::make_request(serve::RequestKind::kResume);
+    request.set("session", std::move(session).value());
+    request.set("target", api::to_string(target.value()));
+    return call_server(*server, std::move(request), dir);
+  }
   auto flow = api::Flow::resume(dir);
   if (!flow.ok()) {
     std::fprintf(stderr, "cnfetc: %s\n", flow.error().to_string().c_str());
@@ -314,6 +432,86 @@ int cmd_batch(Args& args) {
   return report.num_failed() == 0 ? 0 : 1;
 }
 
+int cmd_serve(Args& args) {
+  apply_cache_dir(args);
+  serve::DaemonOptions options;
+  // Warm every technology by default: the daemon's reason to exist is that
+  // the first client request already finds a characterized library.
+  options.server.warm = {layout::Tech::kCnfet65, layout::Tech::kCmos65};
+  if (const auto* host = args.value_of("--host")) options.server.host = *host;
+  if (const auto* port = args.value_of("--port")) {
+    int value = 0;
+    if (!parse_number(*port, &value) || value < 0 || value > 65535) {
+      return usage(("--port is not a valid port: " + *port).c_str());
+    }
+    options.server.port = static_cast<std::uint16_t>(value);
+  }
+  if (const auto* threads = args.value_of("--threads")) {
+    if (!parse_number(*threads, &options.server.num_threads)) {
+      return usage(("--threads is not an integer: " + *threads).c_str());
+    }
+  }
+  if (const auto* pending = args.value_of("--max-pending")) {
+    if (!parse_number(*pending, &options.server.max_pending)) {
+      return usage(("--max-pending is not an integer: " + *pending).c_str());
+    }
+  }
+  const auto warm_names = args.values_of("--warm");
+  if (!warm_names.empty()) {
+    options.server.warm.clear();
+    for (const auto& name : warm_names) {
+      auto parsed = api::tech_from_string(name);
+      if (!parsed.ok()) return usage(parsed.error().message.c_str());
+      options.server.warm.push_back(parsed.value());
+    }
+  }
+  if (args.has_switch("--no-warm")) options.server.warm.clear();
+  if (const auto* file = args.value_of("--port-file")) {
+    options.port_file = *file;
+  }
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+  return serve::run_daemon(options);
+}
+
+int cmd_ping(Args& args) {
+  const auto* server = args.value_of("--server");
+  if (server == nullptr) return usage("ping requires --server HOST:PORT");
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+  auto client = serve::Client::connect(*server);
+  if (!client.ok() || !client.value().ping()) {
+    std::fprintf(stderr, "cnfetc: no pong from %s\n", server->c_str());
+    return 1;
+  }
+  std::printf("pong from %s\n", server->c_str());
+  return 0;
+}
+
+int cmd_stop(Args& args) {
+  const auto* server = args.value_of("--server");
+  if (server == nullptr) return usage("stop requires --server HOST:PORT");
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+  auto client = serve::Client::connect(*server);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", client.error().to_string().c_str());
+    return 1;
+  }
+  auto response =
+      client.value().call(serve::make_request(serve::RequestKind::kShutdown));
+  if (!response.ok() || !response.value().get_bool("ok")) {
+    std::fprintf(stderr, "cnfetc: shutdown request to %s failed\n",
+                 server->c_str());
+    return 1;
+  }
+  std::printf("%s is draining and will stop\n", server->c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,8 +522,11 @@ int main(int argc, char** argv) {
   if (command == "batch") return cmd_batch(args);
   if (command == "resume") return cmd_resume(args);
   if (command == "jobs") return cmd_jobs(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "ping") return cmd_ping(args);
+  if (command == "stop") return cmd_stop(args);
   if (command == "help" || command == "--help" || command == "-h") {
-    (void)usage();
+    print_usage(stdout);
     return 0;
   }
   return usage(("unknown command \"" + command + "\"").c_str());
