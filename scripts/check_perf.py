@@ -12,9 +12,16 @@ Fails (exit 1) when:
     characterization, >= 5x warm daemon-served compile vs a cold local
     compile);
   * any accuracy/equivalence flag in the bench output is false (including
-    the daemon byte-identity flags from bench_serve's "serve" section).
+    the daemon byte-identity flags from bench_serve's "serve" section);
+  * the at-scale floors are missed when bench_scale's "scale" section is
+    present (>= 10x incremental re-time at 10k gates, conservative
+    gates/sec floors per stage, oracle/signoff equivalence flags).
 
-Usage: python3 scripts/check_perf.py [BENCH_perf.json]
+Usage: python3 scripts/check_perf.py [BENCH_perf.json] [--only scale]
+
+`--only scale` gates just the "scale" section — for the CI scale job,
+which runs bench_scale alone and so produces a BENCH_perf.json without
+the other sections.
 """
 from __future__ import annotations
 
@@ -36,6 +43,23 @@ FLOOR_LIBRARY_CACHE = 10.0
 # bench_serve is newer than the perf baseline and the absolute floor is
 # the contract.
 FLOOR_SERVE_WARM = 5.0
+# Acceptance floor: at 10k gates a single-edit incremental re-time must
+# beat a full TimingGraph rebuild by >= 10x (measured 100x+; this is the
+# at-scale contract, not the small-design one gated above).
+FLOOR_SCALE_INCREMENTAL = 10.0
+# Conservative absolute gates/sec floors for the at-scale stages — set
+# 10-100x under measured dev-machine numbers, so they catch accidental
+# quadratic blowups (the regression mode that matters at 10k gates)
+# rather than host speed differences.
+SCALE_FLOORS = {
+    "generate_gates_per_sec": 50_000.0,
+    "map_nodes_per_sec": 100_000.0,
+    "time_10k_gates_per_sec": 50_000.0,
+    "place_10k_gates_per_sec": 10_000.0,
+    "signoff_10k_gates_per_sec": 100_000.0,
+    "export_10k_gates_per_sec": 50_000.0,
+    "opt_1k_gates_per_sec": 500.0,
+}
 
 
 def fail(msg: str) -> None:
@@ -46,12 +70,52 @@ def fail(msg: str) -> None:
 fail.count = 0
 
 
+def check_scale(scale: dict) -> None:
+    name = "at-scale incremental re-time speedup (10k gates)"
+    actual = scale["incremental_timing_speedup_10k"]
+    status = "ok" if actual >= FLOOR_SCALE_INCREMENTAL else "REGRESSED"
+    print(f"{name}: {actual:.1f}x (minimum {FLOOR_SCALE_INCREMENTAL:.1f}x) "
+          f"{status}")
+    if actual < FLOOR_SCALE_INCREMENTAL:
+        fail(f"{name} {actual:.1f}x below minimum "
+             f"{FLOOR_SCALE_INCREMENTAL:.1f}x")
+
+    for key, floor in SCALE_FLOORS.items():
+        actual = scale[key]
+        status = "ok" if actual >= floor else "REGRESSED"
+        print(f"scale.{key}: {actual:.0f} (minimum {floor:.0f}) {status}")
+        if actual < floor:
+            fail(f"scale.{key} {actual:.0f} below minimum {floor:.0f}")
+
+    for flag in ["incremental_identical", "oracle_identical",
+                 "signoff_clean"]:
+        value = scale[flag]
+        print(f"scale.{flag}: {value}")
+        if value is not True:
+            fail(f"scale.{flag} is {value}")
+
+
 def main() -> int:
-    bench_path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
-                              else "BENCH_perf.json")
+    argv = [a for a in sys.argv[1:]]
+    only = None
+    if "--only" in argv:
+        i = argv.index("--only")
+        only = argv[i + 1]
+        del argv[i:i + 2]
+    bench_path = pathlib.Path(argv[0] if argv else "BENCH_perf.json")
     baseline_path = pathlib.Path(__file__).parent / "perf_baseline.json"
     bench = json.loads(bench_path.read_text())
     baseline = json.loads(baseline_path.read_text())
+
+    if only == "scale":
+        check_scale(bench["scale"])
+        if fail.count:
+            return 1
+        print("perf gate passed")
+        return 0
+    if only is not None:
+        print(f"FAIL: unknown --only section '{only}'")
+        return 1
 
     tran = bench["transient_single_arc"]
     char = bench["characterization"]
@@ -101,6 +165,11 @@ def main() -> int:
     if char["energy_rel_err"] > 0.02:
         fail(f"characterization energy_rel_err {char['energy_rel_err']:.4f} "
              "exceeds 2%")
+
+    # The at-scale section is optional in the full run (bench_scale may not
+    # have been run); when present it is gated.
+    if "scale" in bench:
+        check_scale(bench["scale"])
 
     if fail.count:
         return 1

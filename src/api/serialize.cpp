@@ -135,12 +135,20 @@ json::Value expr_to_json(const logic::Expr& expr) {
             std::move(children));
       return v;
     }
+    case logic::Expr::Kind::kNot: {
+      json::Value v = json::Value::object();
+      v.set("not", expr_to_json(expr.children().front()));
+      return v;
+    }
   }
   throw util::Error("unreachable expr kind");
 }
 
 logic::Expr expr_from_json(const json::Value& v) {
   if (const auto* var = v.find("var")) return logic::Expr::var(var->as_int());
+  if (const auto* inner = v.find("not")) {
+    return logic::Expr::make_not(expr_from_json(*inner));
+  }
   const bool is_and = v.find("and") != nullptr;
   const json::Value& children = v.at(is_and ? "and" : "or");
   std::vector<logic::Expr> terms;
@@ -326,6 +334,40 @@ liberty::Library library_from_json(const json::Value& v) {
     library.add(std::move(cell));
   }
   return library;
+}
+
+// --- gen::GenOptions --------------------------------------------------------
+
+json::Value to_json(const gen::GenOptions& options) {
+  json::Value v = json::Value::object();
+  v.set("family", gen::to_string(options.family));
+  v.set("width", options.width);
+  v.set("target_gates", options.target_gates);
+  v.set("num_inputs", options.num_inputs);
+  // Decimal string: the seed is a full uint64, JSON integers are signed.
+  v.set("seed", std::to_string(options.seed));
+  v.set("drive", options.drive);
+  return v;
+}
+
+gen::GenOptions gen_options_from_json(const json::Value& v) {
+  gen::GenOptions options;
+  auto family = gen::family_from_string(v.get_string("family"));
+  if (!family.ok()) throw util::Error(family.error().message);
+  options.family = family.value();
+  options.width = v.get_int("width");
+  options.target_gates = v.get_int("target_gates");
+  options.num_inputs = v.get_int("num_inputs");
+  const auto seed = v.get_string("seed");
+  try {
+    std::size_t used = 0;
+    options.seed = std::stoull(seed, &used);
+    if (used != seed.size()) throw std::invalid_argument(seed);
+  } catch (const std::exception&) {
+    throw util::Error("gen options: seed is not a uint64: \"" + seed + "\"");
+  }
+  options.drive = v.get_double("drive");
+  return options;
 }
 
 // --- flow::GateNetlist ------------------------------------------------------

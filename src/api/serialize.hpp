@@ -29,6 +29,7 @@
 
 #include "api/batch.hpp"
 #include "api/flow.hpp"
+#include "gen/gen.hpp"
 #include "util/json.hpp"
 
 namespace cnfet::api {
@@ -50,6 +51,13 @@ inline constexpr int kSchemaVersion = 1;
 /// results travel through the file.
 [[nodiscard]] util::json::Value to_json(const liberty::Library& library);
 [[nodiscard]] liberty::Library library_from_json(const util::json::Value& v);
+
+/// gen::GenOptions — the `cnfetc gen` subcommand and the compile server's
+/// "gen" request speak this shape. The seed travels as a decimal string
+/// (it is a full uint64; JSON integers are signed).
+[[nodiscard]] util::json::Value to_json(const gen::GenOptions& options);
+[[nodiscard]] gen::GenOptions gen_options_from_json(
+    const util::json::Value& v);
 
 /// Gate netlists; cells are stored by name and resolved against `library`.
 [[nodiscard]] util::json::Value to_json(const flow::GateNetlist& netlist);

@@ -8,6 +8,7 @@ namespace cnfet::flow {
 
 int GateNetlist::add_net(const std::string& name) {
   net_names_.push_back(name);
+  po_count_.push_back(0);
   if (adjacency_valid_) {
     driver_of_.push_back(-1);
     fanout_.emplace_back();
@@ -28,6 +29,7 @@ void GateNetlist::mark_input(int net) {
 void GateNetlist::mark_output(int net) {
   CNFET_REQUIRE(net >= 0 && net < num_nets());
   outputs_.push_back(net);
+  ++po_count_[static_cast<std::size_t>(net)];
 }
 
 void GateNetlist::add_gate(Gate gate) {
@@ -108,6 +110,8 @@ void GateNetlist::replace_output(int old_net, int new_net) {
                     "replace_output: " + net_name(old_net) +
                         " is not a primary output");
   *it = new_net;
+  --po_count_[static_cast<std::size_t>(old_net)];
+  ++po_count_[static_cast<std::size_t>(new_net)];
 }
 
 void GateNetlist::remove_gates(const std::vector<bool>& keep) {
@@ -144,22 +148,33 @@ void GateNetlist::ensure_topological() const {
   ensure_adjacency();
   topo_order_.clear();
   topo_order_.reserve(gates_.size());
-  // 0 new, 1 visiting, 2 done.
+  // 0 new, 1 visiting, 2 done. Iterative DFS with an explicit stack — a
+  // 10k-gate inverter chain would overflow the call stack recursively —
+  // emitting gates in the same order the recursive post-order did.
   std::vector<char> state(gates_.size(), 0);
-
-  auto visit = [&](int g, auto&& self) -> void {
-    if (state[static_cast<std::size_t>(g)] == 2) return;
-    CNFET_REQUIRE_MSG(state[static_cast<std::size_t>(g)] != 1,
-                      "combinational cycle");
-    state[static_cast<std::size_t>(g)] = 1;
-    for (const int in : gates_[static_cast<std::size_t>(g)].inputs) {
-      const int d = driver_of_[static_cast<std::size_t>(in)];
-      if (d >= 0) self(d, self);
+  // (gate, next fanin pin to expand)
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int root = 0; root < static_cast<int>(gates_.size()); ++root) {
+    if (state[static_cast<std::size_t>(root)] != 0) continue;
+    stack.emplace_back(root, 0);
+    state[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [g, pin] = stack.back();
+      const auto& ins = gates_[static_cast<std::size_t>(g)].inputs;
+      if (pin == ins.size()) {
+        state[static_cast<std::size_t>(g)] = 2;
+        topo_order_.push_back(g);
+        stack.pop_back();
+        continue;
+      }
+      const int d = driver_of_[static_cast<std::size_t>(ins[pin++])];
+      if (d < 0 || state[static_cast<std::size_t>(d)] == 2) continue;
+      CNFET_REQUIRE_MSG(state[static_cast<std::size_t>(d)] != 1,
+                        "combinational cycle");
+      state[static_cast<std::size_t>(d)] = 1;
+      stack.emplace_back(d, 0);
     }
-    state[static_cast<std::size_t>(g)] = 2;
-    topo_order_.push_back(g);
-  };
-  for (int g = 0; g < static_cast<int>(gates_.size()); ++g) visit(g, visit);
+  }
   topo_valid_ = true;
 }
 
@@ -209,17 +224,37 @@ double GateNetlist::net_load(int net, double wire_cap_per_fanout,
                 .cell->input_cap[static_cast<std::size_t>(pin)] +
             wire_cap_per_fanout;
   }
-  for (const int po : outputs_) {
-    if (po == net) load += output_load;
+  // Repeated addition (not a multiply) keeps the sum bit-identical to the
+  // outputs_ scan this replaced; a full timing update calls net_load once
+  // per net, so the scan made it O(nets * outputs).
+  for (int i = po_count_[static_cast<std::size_t>(net)]; i > 0; --i) {
+    load += output_load;
   }
   return load;
 }
 
 std::vector<bool> GateNetlist::simulate(std::uint64_t input_row) const {
+  CNFET_REQUIRE_MSG(inputs_.size() <= 64,
+                    "simulate(uint64) supports <= 64 primary inputs; use the "
+                    "std::vector<bool> overload for wider designs");
   std::vector<bool> value(static_cast<std::size_t>(num_nets()), false);
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     value[static_cast<std::size_t>(inputs_[i])] = (input_row >> i) & 1;
   }
+  return simulate_from(std::move(value));
+}
+
+std::vector<bool> GateNetlist::simulate(
+    const std::vector<bool>& input_values) const {
+  CNFET_REQUIRE(input_values.size() == inputs_.size());
+  std::vector<bool> value(static_cast<std::size_t>(num_nets()), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    value[static_cast<std::size_t>(inputs_[i])] = input_values[i];
+  }
+  return simulate_from(std::move(value));
+}
+
+std::vector<bool> GateNetlist::simulate_from(std::vector<bool> value) const {
   for (const auto* g : topological_order()) {
     std::uint64_t row = 0;
     for (std::size_t pin = 0; pin < g->inputs.size(); ++pin) {

@@ -91,17 +91,26 @@ class GateNetlist {
                                 double output_load) const;
 
   /// Exhaustive functional simulation (switch-level truth of each cell):
-  /// value of every net for one primary-input assignment.
+  /// value of every net for one primary-input assignment. The packed-row
+  /// form requires <= 64 primary inputs; wider designs (a 32-bit adder has
+  /// 65) use the vector form.
   [[nodiscard]] std::vector<bool> simulate(std::uint64_t input_row) const;
+  [[nodiscard]] std::vector<bool> simulate(
+      const std::vector<bool>& input_values) const;
 
  private:
   void ensure_adjacency() const;
   void ensure_topological() const;
+  [[nodiscard]] std::vector<bool> simulate_from(std::vector<bool> value) const;
 
   std::vector<std::string> net_names_;
   std::vector<int> inputs_;
   std::vector<int> outputs_;
   std::vector<Gate> gates_;
+  // Primary-output multiplicity per net, maintained eagerly by mark_output/
+  // replace_output: net_load() used to scan outputs_ per call, which is
+  // O(nets * outputs) across a full timing update — quadratic at 10k gates.
+  std::vector<int> po_count_;
 
   // Connectivity caches, indexed by net id / gate index (never pointers:
   // gates_ may reallocate). Rebuilt lazily after invalidating mutations and

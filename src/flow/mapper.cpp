@@ -1,8 +1,9 @@
 #include "flow/mapper.hpp"
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <tuple>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -37,7 +38,10 @@ class Aig {
 
   [[nodiscard]] int make_and(int la, int lb) {
     if (la > lb) std::swap(la, lb);
-    const auto key = std::make_pair(la, lb);
+    const std::uint64_t key = (static_cast<std::uint64_t>(
+                                   static_cast<std::uint32_t>(la))
+                               << 32) |
+                              static_cast<std::uint32_t>(lb);
     const auto it = hash_.find(key);
     if (it != hash_.end()) return make_literal(it->second, false);
     nodes_.push_back(Node{la, lb, -1});
@@ -66,6 +70,8 @@ class Aig {
         }
         return lit ^ 1;
       }
+      case Expr::Kind::kNot:
+        return build(expr.children().front()) ^ 1;
     }
     throw util::Error("unreachable expr kind");
   }
@@ -76,8 +82,8 @@ class Aig {
 
  private:
   std::vector<Node> nodes_;
-  std::map<int, int> input_nodes_;
-  std::map<std::pair<int, int>, int> hash_;
+  std::unordered_map<int, int> input_nodes_;
+  std::unordered_map<std::uint64_t, int> hash_;
 };
 
 /// (arrival, slew) at a cell output for the given fanin timing, under the
@@ -180,7 +186,9 @@ class DelayDp {
   const liberty::LibCell* nor_;
   double input_slew_;
   double est_load_;
-  std::map<int, Val> memo_;
+  // unordered_map: references handed out by eval stay valid across inserts
+  // (rehash moves buckets, not nodes), which the recursive a/b evals rely on.
+  std::unordered_map<int, Val> memo_;
 };
 
 /// Phase-aware covering: produces the net computing a literal, emitting
@@ -191,15 +199,9 @@ class Cover {
         const std::vector<int>& input_nets, const MapOptions& options)
       : aig_(aig),
         netlist_(netlist),
-        input_nets_(input_nets),
-        inv_(&library.find(suffixed("INV", options.drive, library))),
-        nand_(&library.find(suffixed("NAND2", options.drive, library))),
-        nor_(&library.find(suffixed("NOR2", options.drive, library))) {
-    if (options.cost == MapCost::kDelay) {
-      dp_ = std::make_unique<DelayDp>(aig, inv_, nand_, nor_,
-                                      options.input_slew, options.est_load);
-    }
-  }
+        library_(library),
+        options_(options),
+        input_nets_(input_nets) {}
 
   int nand_count = 0;
   int nor_count = 0;
@@ -220,12 +222,12 @@ class Cover {
       if (!neg) {
         net = input_nets_[static_cast<std::size_t>(n.var)];
       } else {
-        net = emit(inv_, {realize(literal ^ 1)}, "inv");
+        net = emit(inv(), {realize(literal ^ 1)}, "inv");
         ++inv_count;
       }
     } else if (neg) {
       // NOT(a AND b) == NAND2(a, b).
-      net = emit(nand_, {realize(n.a), realize(n.b)}, "nand");
+      net = emit(nand2(), {realize(n.a), realize(n.b)}, "nand");
       ++nand_count;
     } else {
       // a AND b == NOR2(NOT a, NOT b) — one gate over complemented fanins —
@@ -233,8 +235,8 @@ class Cover {
       // gate-count mode, choose by realized-cost lookahead: fanins that
       // already exist in the needed phase are free.
       bool use_nor;
-      if (dp_) {
-        use_nor = dp_->eval(literal).use_nor;
+      if (options_.cost == MapCost::kDelay) {
+        use_nor = dp().eval(literal).use_nor;
       } else {
         const int cost_nor = (net_of_.count(n.a ^ 1) ? 0 : 1) +
                              (net_of_.count(n.b ^ 1) ? 0 : 1);
@@ -243,11 +245,11 @@ class Cover {
         use_nor = cost_nor <= cost_nand;
       }
       if (use_nor) {
-        net = emit(nor_, {realize(n.a ^ 1), realize(n.b ^ 1)}, "nor");
+        net = emit(nor2(), {realize(n.a ^ 1), realize(n.b ^ 1)}, "nor");
         ++nor_count;
       } else {
         const int inner = realize(literal ^ 1);
-        net = emit(inv_, {inner}, "inv");
+        net = emit(inv(), {inner}, "inv");
         ++inv_count;
       }
     }
@@ -256,10 +258,33 @@ class Cover {
   }
 
  private:
-  [[nodiscard]] static std::string suffixed(const std::string& base,
-                                            double drive,
-                                            const liberty::Library&) {
-    return base + drive_suffix(drive);
+  // Cells resolve lazily: a specification that never needs NAND2/NOR2 (an
+  // inverter chain, say) must map against a library that only carries INV,
+  // so eager lookups here would wrongly refuse such libraries.
+  [[nodiscard]] const liberty::LibCell* inv() {
+    if (inv_ == nullptr) {
+      inv_ = &library_.find("INV" + drive_suffix(options_.drive));
+    }
+    return inv_;
+  }
+  [[nodiscard]] const liberty::LibCell* nand2() {
+    if (nand_ == nullptr) {
+      nand_ = &library_.find("NAND2" + drive_suffix(options_.drive));
+    }
+    return nand_;
+  }
+  [[nodiscard]] const liberty::LibCell* nor2() {
+    if (nor_ == nullptr) {
+      nor_ = &library_.find("NOR2" + drive_suffix(options_.drive));
+    }
+    return nor_;
+  }
+  [[nodiscard]] DelayDp& dp() {
+    if (!dp_) {
+      dp_ = std::make_unique<DelayDp>(aig_, inv(), nand2(), nor2(),
+                                      options_.input_slew, options_.est_load);
+    }
+    return *dp_;
   }
 
   int emit(const liberty::LibCell* cell, std::vector<int> ins,
@@ -272,12 +297,14 @@ class Cover {
 
   const Aig& aig_;
   GateNetlist& netlist_;
+  const liberty::Library& library_;
+  const MapOptions options_;
   const std::vector<int>& input_nets_;
-  const liberty::LibCell* inv_;
-  const liberty::LibCell* nand_;
-  const liberty::LibCell* nor_;
-  std::unique_ptr<DelayDp> dp_;  ///< set in kDelay mode only
-  std::map<int, int> net_of_;
+  const liberty::LibCell* inv_ = nullptr;
+  const liberty::LibCell* nand_ = nullptr;
+  const liberty::LibCell* nor_ = nullptr;
+  std::unique_ptr<DelayDp> dp_;  ///< built on first kDelay decision
+  std::unordered_map<int, int> net_of_;
   int serial_ = 0;
 };
 
@@ -329,14 +356,41 @@ MapResult map_expressions(const std::vector<OutputSpec>& outputs,
   return result;
 }
 
+namespace {
+
+// Direct row evaluation instead of TruthTable: tables are capped at
+// logic::kMaxInputs variables and materializing one per output per row was
+// doing exponential work twice over.
+bool eval_expr_row(const logic::Expr& expr, std::uint64_t row) {
+  using logic::Expr;
+  switch (expr.kind()) {
+    case Expr::Kind::kVar:
+      return (row >> expr.var_index()) & 1u;
+    case Expr::Kind::kAnd:
+      for (const auto& c : expr.children()) {
+        if (!eval_expr_row(c, row)) return false;
+      }
+      return true;
+    case Expr::Kind::kOr:
+      for (const auto& c : expr.children()) {
+        if (eval_expr_row(c, row)) return true;
+      }
+      return false;
+    case Expr::Kind::kNot:
+      return !eval_expr_row(expr.children().front(), row);
+  }
+  throw util::Error("unreachable expr kind");
+}
+
+}  // namespace
+
 bool verify_mapping(const MapResult& result,
                     const std::vector<OutputSpec>& outputs, int num_inputs) {
   CNFET_REQUIRE(num_inputs <= 16);
   for (std::uint64_t row = 0; row < (1ull << num_inputs); ++row) {
     const auto values = result.netlist.simulate(row);
     for (std::size_t o = 0; o < outputs.size(); ++o) {
-      const auto want_table = outputs[o].expr.truth(num_inputs);
-      bool want = want_table.eval(row);
+      bool want = eval_expr_row(outputs[o].expr, row);
       if (outputs[o].inverted) want = !want;
       const int net = result.netlist.outputs()[o];
       if (values[static_cast<std::size_t>(net)] != want) return false;

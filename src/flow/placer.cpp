@@ -71,6 +71,17 @@ PlacementResult place(const GateNetlist& netlist, const PlaceOptions& options) {
   result.scheme = options.scheme;
   result.natural_area_lambda2 = natural_area;
 
+  // Shelf packing sorts by natural height (desc) so each shelf is only as
+  // tall as its tallest member; the order is attempt-invariant, so sort
+  // once instead of once per row-count attempt.
+  std::vector<Footprint> sorted = cells;
+  if (options.scheme != layout::CellScheme::kScheme1) {
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Footprint& a, const Footprint& b) {
+                       return a.height > b.height;
+                     });
+  }
+
   // Try every reasonable row count and keep the smallest bounding box —
   // small designs are very sensitive to the row-width choice and the paper
   // compares best-effort layouts.
@@ -89,15 +100,8 @@ PlacementResult place(const GateNetlist& netlist, const PlaceOptions& options) {
         x += c.width + spacing;
       }
     } else {
-      // Shelf packing: sort by natural height (desc), each shelf as tall as
-      // its tallest member only.
-      std::vector<Footprint> sorted = cells;
-      std::stable_sort(sorted.begin(), sorted.end(),
-                       [](const Footprint& a, const Footprint& b) {
-                         return a.height > b.height;
-                       });
       Coord x = 0, y = 0, shelf_height = 0;
-      for (const auto& c : sorted) {
+      for (const auto& c : sorted) {  // height-sorted shelf order
         if (x > 0 && x + c.width > row_width_target) {
           x = 0;
           y += shelf_height + row_gap;
@@ -112,8 +116,13 @@ PlacementResult place(const GateNetlist& netlist, const PlaceOptions& options) {
     return instances;
   };
 
-  const int max_rows =
-      std::min<int>(static_cast<int>(cells.size()), 12);
+  // Up to 12 rows for paper-scale designs (unchanged); beyond 144 cells the
+  // cap grows as ceil(sqrt(n)) so a 10k-gate placement can reach a roughly
+  // square aspect ratio instead of twelve half-kilometer rows.
+  const int n_cells = static_cast<int>(cells.size());
+  const int sqrt_cap = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(n_cells))));
+  const int max_rows = std::min(n_cells, std::max(12, sqrt_cap));
   double best_area = 0.0;
   for (int rows = 1; rows <= max_rows; ++rows) {
     const Coord target = total_width / rows + 1;

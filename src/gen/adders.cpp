@@ -1,0 +1,124 @@
+// N-bit adder generators: ripple-carry (9 NAND2 per bit, the paper's full
+// adder chained) and a block-4 carry-lookahead over INV/NAND2/NOR2. Both
+// compute the same function — A + B + CIN over LSB-first operands — which
+// the differential tier exploits (same oracle, different structure).
+#include <algorithm>
+
+#include "gen/gen.hpp"
+#include "util/error.hpp"
+
+namespace cnfet::gen::detail {
+
+namespace {
+
+/// Shared port construction: inputs A0..A(N-1), B0..B(N-1), CIN.
+struct AdderPorts {
+  std::vector<int> a, b;
+  int cin = -1;
+};
+
+AdderPorts make_ports(Builder& builder, int width) {
+  AdderPorts ports;
+  for (int i = 0; i < width; ++i) {
+    ports.a.push_back(builder.input("A" + std::to_string(i)));
+  }
+  for (int i = 0; i < width; ++i) {
+    ports.b.push_back(builder.input("B" + std::to_string(i)));
+  }
+  ports.cin = builder.input("CIN");
+  return ports;
+}
+
+/// Both adders share the oracle: inputs [A bits, B bits, CIN] LSB-first,
+/// outputs [S0..S(N-1), COUT].
+Oracle adder_oracle(int width) {
+  return [width](const std::vector<bool>& in) {
+    const auto w = static_cast<std::size_t>(width);
+    CNFET_REQUIRE(in.size() == 2 * w + 1);
+    const std::vector<bool> a(in.begin(), in.begin() + width);
+    const std::vector<bool> b(in.begin() + width, in.begin() + 2 * width);
+    return add_bits(a, b, in[2 * w]);
+  };
+}
+
+}  // namespace
+
+Generated generate_rca(const liberty::Library& library,
+                       const GenOptions& options) {
+  CNFET_REQUIRE_MSG(options.width >= 1, "adder width must be >= 1");
+  Builder builder(library, options.drive);
+  const auto ports = make_ports(builder, options.width);
+
+  std::vector<int> sums;
+  int carry = ports.cin;
+  for (int i = 0; i < options.width; ++i) {
+    const auto [sum, cout] = builder.full_add(
+        ports.a[static_cast<std::size_t>(i)],
+        ports.b[static_cast<std::size_t>(i)], carry);
+    sums.push_back(sum);
+    carry = cout;
+  }
+  for (const int s : sums) builder.output(s);
+  builder.output(carry);
+
+  Generated out;
+  out.name = "rca" + std::to_string(options.width);
+  out.netlist = std::move(builder.netlist());
+  out.oracle = adder_oracle(options.width);
+  return out;
+}
+
+Generated generate_cla(const liberty::Library& library,
+                       const GenOptions& options) {
+  CNFET_REQUIRE_MSG(options.width >= 1, "adder width must be >= 1");
+  Builder builder(library, options.drive);
+  const auto ports = make_ports(builder, options.width);
+
+  // Per-bit propagate (a^b) and generate (a&b).
+  std::vector<int> p, g;
+  for (int i = 0; i < options.width; ++i) {
+    p.push_back(builder.xor2(ports.a[static_cast<std::size_t>(i)],
+                             ports.b[static_cast<std::size_t>(i)]));
+    g.push_back(builder.and2(ports.a[static_cast<std::size_t>(i)],
+                             ports.b[static_cast<std::size_t>(i)]));
+  }
+
+  // Block-4 lookahead, carry rippling between blocks:
+  //   c[i+1] = g[i] + p[i]g[i-1] + ... + p[i]..p[lo]c[lo]
+  // expanded over 2-input AND/OR trees within each block.
+  std::vector<int> c(static_cast<std::size_t>(options.width) + 1, -1);
+  c[0] = ports.cin;
+  for (int lo = 0; lo < options.width; lo += 4) {
+    const int hi = std::min(lo + 4, options.width);
+    for (int i = lo; i < hi; ++i) {
+      // Terms for c[i+1], built from bit `lo`'s carry-in.
+      int term = c[static_cast<std::size_t>(lo)];
+      for (int j = lo; j <= i; ++j) {
+        term = builder.and2(p[static_cast<std::size_t>(j)], term);
+      }
+      int carry = term;  // p[i]..p[lo] * c[lo]
+      for (int j = lo; j <= i; ++j) {
+        int t = g[static_cast<std::size_t>(j)];
+        for (int k = j + 1; k <= i; ++k) {
+          t = builder.and2(p[static_cast<std::size_t>(k)], t);
+        }
+        carry = builder.or2(carry, t);
+      }
+      c[static_cast<std::size_t>(i) + 1] = carry;
+    }
+  }
+
+  for (int i = 0; i < options.width; ++i) {
+    builder.output(builder.xor2(p[static_cast<std::size_t>(i)],
+                                c[static_cast<std::size_t>(i)]));
+  }
+  builder.output(c[static_cast<std::size_t>(options.width)]);
+
+  Generated out;
+  out.name = "cla" + std::to_string(options.width);
+  out.netlist = std::move(builder.netlist());
+  out.oracle = adder_oracle(options.width);
+  return out;
+}
+
+}  // namespace cnfet::gen::detail

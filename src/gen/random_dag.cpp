@@ -1,0 +1,108 @@
+// ISCAS-style seeded random DAG logic: `target_gates` INV/NAND2/NOR2
+// gates whose fanins are drawn uniformly from already-existing nets, so
+// the graph is acyclic by construction with natural reconvergence and a
+// long-tailed fanout distribution — the stress shape for the mapper's
+// covering caches, the timing worklist and the placer. The oracle replays
+// the recorded op list, independent of GateNetlist::simulate.
+#include "gen/gen.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cnfet::gen::detail {
+
+namespace {
+
+enum class Op : std::uint8_t { kInv, kNand, kNor };
+
+struct RecordedOp {
+  Op op = Op::kInv;
+  int a = -1;
+  int b = -1;  ///< unused for kInv
+};
+
+}  // namespace
+
+Generated generate_random_dag(const liberty::Library& library,
+                              const GenOptions& options) {
+  CNFET_REQUIRE_MSG(options.num_inputs >= 1,
+                    "random DAG needs at least one primary input");
+  CNFET_REQUIRE_MSG(options.target_gates >= 1,
+                    "random DAG needs at least one gate");
+  Builder builder(library, options.drive);
+  for (int i = 0; i < options.num_inputs; ++i) {
+    (void)builder.input("I" + std::to_string(i));
+  }
+
+  util::Xoshiro256 rng(util::derive_stream(options.seed, 0));
+  std::vector<RecordedOp> ops;
+  ops.reserve(static_cast<std::size_t>(options.target_gates));
+  for (int g = 0; g < options.target_gates; ++g) {
+    const int existing = builder.netlist().num_nets();
+    RecordedOp op;
+    // 3:3:2 NAND:NOR:INV keeps the depth growing (inverters are cheap but
+    // add no logic) while exercising every mapped cell type.
+    const std::uint64_t pick = rng.below(8);
+    op.op = pick < 3 ? Op::kNand : pick < 6 ? Op::kNor : Op::kInv;
+    op.a = static_cast<int>(rng.below(static_cast<std::uint64_t>(existing)));
+    int out = -1;
+    if (op.op == Op::kInv) {
+      out = builder.inv(op.a);
+    } else {
+      op.b = static_cast<int>(rng.below(static_cast<std::uint64_t>(existing)));
+      out = op.op == Op::kNand ? builder.nand2(op.a, op.b)
+                               : builder.nor2(op.a, op.b);
+    }
+    CNFET_REQUIRE(out == existing);  // ops are indexed by output net id
+    ops.push_back(op);
+  }
+
+  // Every net nothing reads becomes a primary output (ascending net id),
+  // so no gate is dead and the PO set is deterministic.
+  auto& netlist = builder.netlist();
+  for (int net = 0; net < netlist.num_nets(); ++net) {
+    if (netlist.fanout(net).empty() && netlist.driver_index(net) >= 0) {
+      builder.output(net);
+    }
+  }
+  CNFET_REQUIRE(!netlist.outputs().empty());
+
+  const int num_inputs = options.num_inputs;
+  std::vector<int> output_nets = netlist.outputs();
+  Generated out;
+  out.name = "rand" + std::to_string(options.target_gates) + "_s" +
+             std::to_string(options.seed);
+  out.netlist = std::move(builder.netlist());
+  out.oracle = [num_inputs, ops = std::move(ops),
+                output_nets = std::move(output_nets)](
+                   const std::vector<bool>& in) {
+    CNFET_REQUIRE(in.size() == static_cast<std::size_t>(num_inputs));
+    std::vector<bool> value(in);
+    value.resize(static_cast<std::size_t>(num_inputs) + ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto& op = ops[i];
+      const bool a = value[static_cast<std::size_t>(op.a)];
+      bool v = false;
+      switch (op.op) {
+        case Op::kInv:
+          v = !a;
+          break;
+        case Op::kNand:
+          v = !(a && value[static_cast<std::size_t>(op.b)]);
+          break;
+        case Op::kNor:
+          v = !(a || value[static_cast<std::size_t>(op.b)]);
+          break;
+      }
+      value[static_cast<std::size_t>(num_inputs) + i] = v;
+    }
+    std::vector<bool> result;
+    result.reserve(output_nets.size());
+    for (const int net : output_nets) {
+      result.push_back(value[static_cast<std::size_t>(net)]);
+    }
+    return result;
+  };
+  return out;
+}
+
+}  // namespace cnfet::gen::detail

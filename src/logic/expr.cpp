@@ -47,6 +47,16 @@ Expr Expr::make_or(std::vector<Expr> terms) {
   return e;
 }
 
+Expr Expr::make_not(Expr term) {
+  // Double negation cancels immediately so generator round-trips through
+  // INV chains do not grow the tree.
+  if (term.kind_ == Kind::kNot) return std::move(term.children_.front());
+  Expr e;
+  e.kind_ = Kind::kNot;
+  e.children_.push_back(std::move(term));
+  return e;
+}
+
 int Expr::var_index() const {
   CNFET_REQUIRE(kind_ == Kind::kVar);
   return var_;
@@ -59,6 +69,12 @@ int Expr::num_literals() const {
   return total;
 }
 
+int Expr::num_nodes() const {
+  int total = 1;
+  for (const auto& c : children_) total += c.num_nodes();
+  return total;
+}
+
 int Expr::num_vars() const {
   if (kind_ == Kind::kVar) return var_ + 1;
   int n = 0;
@@ -67,10 +83,11 @@ int Expr::num_vars() const {
 }
 
 Expr Expr::dual() const {
+  // dual(NOT g) = NOT dual(g); NOT nodes pass through unchanged.
   Expr e;
   e.kind_ = kind_ == Kind::kAnd  ? Kind::kOr
             : kind_ == Kind::kOr ? Kind::kAnd
-                                 : Kind::kVar;
+                                 : kind_;
   e.var_ = var_;
   e.children_.reserve(children_.size());
   for (const auto& c : children_) e.children_.push_back(c.dual());
@@ -92,6 +109,8 @@ TruthTable Expr::truth(int n) const {
       for (const auto& c : children_) t = t | c.truth(n);
       return t;
     }
+    case Kind::kNot:
+      return ~children_.front().truth(n);
   }
   throw util::Error("unreachable expr kind");
 }
@@ -100,6 +119,10 @@ int Expr::stack_depth() const {
   switch (kind_) {
     case Kind::kVar:
       return 1;
+    case Kind::kNot:
+      throw util::Error(
+          "stack_depth: NOT is not realizable in a single series/parallel "
+          "plane; map the expression to cells first");
     case Kind::kAnd: {
       int sum = 0;
       for (const auto& c : children_) sum += c.stack_depth();
@@ -138,6 +161,11 @@ std::string Expr::to_string() const {
         out << children_[i].to_string();
       }
       return out.str();
+    }
+    case Kind::kNot: {
+      const Expr& c = children_.front();
+      const bool paren = c.kind_ != Kind::kVar;
+      return paren ? "!(" + c.to_string() + ")" : "!" + c.to_string();
     }
   }
   throw util::Error("unreachable expr kind");
@@ -202,6 +230,10 @@ class Parser {
 
   Expr parse_primary() {
     const char c = peek();
+    if (c == '!' || c == '~') {
+      ++pos_;
+      return Expr::make_not(parse_primary());
+    }
     if (c == '(') {
       ++pos_;
       Expr e = parse_or();

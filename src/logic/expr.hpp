@@ -16,14 +16,20 @@
 
 namespace cnfet::logic {
 
-/// Immutable AND/OR/VAR expression tree (positive literals only).
+/// Immutable AND/OR/NOT/VAR expression tree. Pull-down functions for cell
+/// synthesis use only AND/OR over positive literals; NOT nodes exist so
+/// multi-level specifications (adders, XOR trees from the netlist
+/// generators) can be round-tripped through the mapper, which is
+/// phase-aware and absorbs them for free. NOT is rejected by the
+/// series/parallel plane builder (stack_depth / cell synthesis).
 class Expr {
  public:
-  enum class Kind { kVar, kAnd, kOr };
+  enum class Kind { kVar, kAnd, kOr, kNot };
 
   [[nodiscard]] static Expr var(int index);
   [[nodiscard]] static Expr make_and(std::vector<Expr> terms);
   [[nodiscard]] static Expr make_or(std::vector<Expr> terms);
+  [[nodiscard]] static Expr make_not(Expr term);
 
   [[nodiscard]] Kind kind() const { return kind_; }
   [[nodiscard]] int var_index() const;
@@ -32,6 +38,10 @@ class Expr {
   /// Number of leaf literals (with multiplicity) — equals the number of
   /// transistors needed in one plane.
   [[nodiscard]] int num_literals() const;
+
+  /// Total tree nodes (the generators budget specification size with this:
+  /// Expr has no subtree sharing, so conversions must watch for blowup).
+  [[nodiscard]] int num_nodes() const;
 
   /// Highest variable index + 1.
   [[nodiscard]] int num_vars() const;
@@ -55,7 +65,7 @@ class Expr {
   std::vector<Expr> children_;
 };
 
-/// Parses expressions such as "A*B+C", "(A+B+C)*D", "A&B | C*D".
+/// Parses expressions such as "A*B+C", "(A+B+C)*D", "A&B | C*D", "!A*B".
 /// Variables are single capital letters A..Z mapped to indices 0..25 in
 /// order of first appearance, or named explicitly via the `names` output.
 /// Grammar: or := and ('+'|'|') and ... ; and := primary (('*'|'&')?

@@ -214,6 +214,10 @@ void build_plane(CellNetlist& cell, const logic::Expr& expr, FetType type,
       }
       return;
     }
+    case Expr::Kind::kNot:
+      throw util::Error(
+          "build_plane: NOT is not realizable in a series/parallel plane; "
+          "pull-down expressions must be AND/OR over positive literals");
   }
 }
 

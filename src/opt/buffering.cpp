@@ -52,18 +52,28 @@ void insert_buffers(GateNetlist& netlist, sta::TimingGraph& graph,
     const double worst = graph.worst_arrival();
     if (options.target_delay > 0.0 && worst <= options.target_delay) break;
 
+    // One clone + rebind-cloned graph for the whole drive sweep: the pair
+    // is inserted incrementally once, then each drive is a resize of the
+    // final stage — a cone re-time instead of a from-scratch NLDM build
+    // per (output, drive) pair, which dominated optimize() at 10k gates.
     const liberty::LibCell* best_final = nullptr;
     double best_worst = worst;
+    GateNetlist trial = netlist;
+    sta::TimingGraph trial_graph(graph, trial);
+    const auto [t_pre, t_buf] = add_inverter_pair(
+        trial, po, pre_cell, inv_family.front().cell, "obuf");
+    (void)t_pre;
+    const int final_index = static_cast<int>(trial.gates().size()) - 1;
+    trial_graph.on_gate_added(final_index - 1);
+    trial_graph.on_gate_added(final_index);
+    trial.replace_output(po, t_buf);
+    trial_graph.on_output_moved(po, t_buf);
     for (const auto& option : inv_family) {
       const double added =
           pre_cell->area_lambda2 + option.cell->area_lambda2;
       if (area + added > area_budget) continue;
-      GateNetlist trial = netlist;
-      const auto [pre, buf] =
-          add_inverter_pair(trial, po, pre_cell, option.cell, "obuf");
-      (void)pre;
-      trial.replace_output(po, buf);
-      sta::TimingGraph trial_graph(trial, options.sta, options.target_delay);
+      trial.resize_gate(final_index, option.cell);
+      trial_graph.on_gate_replaced(final_index);
       const double candidate = trial_graph.worst_arrival();
       if (candidate < best_worst) {
         best_worst = candidate;
@@ -108,21 +118,28 @@ void insert_buffers(GateNetlist& netlist, sta::TimingGraph& graph,
         all_sinks.begin() + static_cast<std::ptrdiff_t>(first_moved),
         all_sinks.end());
 
+    // Same one-clone-per-candidate scheme as output buffering above.
     const liberty::LibCell* best_final = nullptr;
     double best_worst = worst;
+    GateNetlist trial = netlist;
+    sta::TimingGraph trial_graph(graph, trial);
+    const auto [t_pre, t_buf] = add_inverter_pair(
+        trial, net, pre_cell, inv_family.front().cell, "fbuf");
+    (void)t_pre;
+    const int final_index = static_cast<int>(trial.gates().size()) - 1;
+    trial_graph.on_gate_added(final_index - 1);
+    trial_graph.on_gate_added(final_index);
+    for (const auto& [sink, pin] : moved) {
+      trial.set_gate_input(sink, pin, t_buf);
+      trial_graph.on_input_rewired(sink, pin, net);
+    }
     for (const auto& option : inv_family) {
       if (area + pre_cell->area_lambda2 + option.cell->area_lambda2 >
           area_budget) {
         continue;
       }
-      GateNetlist trial = netlist;
-      const auto [pre, buf] =
-          add_inverter_pair(trial, net, pre_cell, option.cell, "fbuf");
-      (void)pre;
-      for (const auto& [sink, pin] : moved) {
-        trial.set_gate_input(sink, pin, buf);
-      }
-      sta::TimingGraph trial_graph(trial, options.sta, options.target_delay);
+      trial.resize_gate(final_index, option.cell);
+      trial_graph.on_gate_replaced(final_index);
       const double candidate = trial_graph.worst_arrival();
       if (candidate < best_worst) {
         best_worst = candidate;

@@ -56,26 +56,36 @@ bool merge_duplicates(GateNetlist& netlist) {
   return changed;
 }
 
-/// Drops every gate whose output has no readers and is not a primary
-/// output, repeating until stable (removing a gate can orphan its fanins).
+/// Drops every gate that cannot reach a primary output through live
+/// readers. One reverse-topological liveness sweep and a single
+/// remove_gates reach the same fixpoint the old peel-a-layer loop did
+/// (each iteration of which recompacted the gate vector and rebuilt the
+/// connectivity caches — O(depth * n) on deep generated netlists).
 int remove_dead(GateNetlist& netlist) {
-  int removed = 0;
-  for (;;) {
-    std::vector<bool> keep(netlist.gates().size(), true);
-    bool any = false;
-    for (std::size_t i = 0; i < netlist.gates().size(); ++i) {
-      const int out = netlist.gates()[i].output;
-      if (!netlist.fanout(out).empty()) continue;
-      bool is_po = false;
-      for (const int po : netlist.outputs()) is_po = is_po || po == out;
-      if (is_po) continue;
-      keep[i] = false;
-      any = true;
-      ++removed;
-    }
-    if (!any) return removed;
-    netlist.remove_gates(keep);
+  std::vector<bool> is_po(static_cast<std::size_t>(netlist.num_nets()), false);
+  for (const int po : netlist.outputs()) {
+    is_po[static_cast<std::size_t>(po)] = true;
   }
+  const auto& gates = netlist.gates();
+  std::vector<bool> keep(gates.size(), false);
+  const auto topo = netlist.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const auto index = static_cast<std::size_t>(*it - gates.data());
+    const int out = gates[index].output;
+    bool live = is_po[static_cast<std::size_t>(out)];
+    for (const auto& [reader, pin] : netlist.fanout(out)) {
+      (void)pin;
+      if (keep[static_cast<std::size_t>(reader)]) {
+        live = true;
+        break;
+      }
+    }
+    keep[index] = live;
+  }
+  int removed = 0;
+  for (const bool k : keep) removed += k ? 0 : 1;
+  if (removed > 0) netlist.remove_gates(keep);
+  return removed;
 }
 
 }  // namespace

@@ -38,6 +38,11 @@ struct OptOptions {
   /// Cross-check the graph against a full rebuild after every accepted
   /// edit (bit-for-bit; throws on divergence). For tests — quadratic.
   bool verify_incremental = false;
+  /// Worker threads for the sizing pass's candidate sweep (0 = one per
+  /// hardware thread). Any value produces bit-identical results: shards
+  /// evaluate disjoint candidate ranges on private netlist/graph clones
+  /// and the winner is chosen by (arrival, enumeration index).
+  int num_threads = 1;
 };
 
 /// What the passes did, and the before/after headline numbers.

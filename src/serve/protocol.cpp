@@ -22,6 +22,8 @@ const char* to_string(RequestKind kind) {
       return "monte_carlo";
     case RequestKind::kBatch:
       return "batch";
+    case RequestKind::kGen:
+      return "gen";
     case RequestKind::kShutdown:
       return "shutdown";
   }
@@ -32,7 +34,7 @@ util::Result<RequestKind> request_kind_from_string(const std::string& name) {
   for (const RequestKind kind :
        {RequestKind::kPing, RequestKind::kStats, RequestKind::kCompile,
         RequestKind::kResume, RequestKind::kSta, RequestKind::kMonteCarlo,
-        RequestKind::kBatch, RequestKind::kShutdown}) {
+        RequestKind::kBatch, RequestKind::kGen, RequestKind::kShutdown}) {
     if (name == to_string(kind)) return kind;
   }
   return util::Result<RequestKind>::failure(

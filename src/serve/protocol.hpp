@@ -24,6 +24,9 @@
 //   monte_carlo  {cell, trials, seed, threads} -> result {trials, ...}
 //   batch        {jobs: [<FlowJob>...], num_threads, fail_fast}
 //                                            -> result {report}
+//   gen          {gen: <GenOptions>, options: <FlowOptions>?,
+//                 target: "<stage>"?}        -> result like compile (the
+//                 generated reference netlist is adopted at Mapped)
 //   shutdown     -> result {stopping}; the daemon then drains and exits
 //
 // Error responses (ok=false) carry the structured util::Diagnostics that
@@ -64,6 +67,7 @@ enum class RequestKind {
   kSta,
   kMonteCarlo,
   kBatch,
+  kGen,
   kShutdown,
 };
 

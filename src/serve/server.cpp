@@ -314,6 +314,8 @@ json::Value Server::handle_request(const Request& request) {
       return handle_monte_carlo(request);
     case RequestKind::kBatch:
       return handle_batch(request);
+    case RequestKind::kGen:
+      return handle_gen(request);
     default:
       return error_response(to_string(request.kind), request.id, "serve",
                             "request kind is not pool-dispatched");
@@ -341,6 +343,38 @@ json::Value Server::handle_resume(const Request& request) {
   return guarded(request, [&] {
     auto flow =
         api::Flow::resume_json(request.payload.at("session"), "<request>");
+    if (!flow.ok()) {
+      util::Diagnostics diags;
+      diags.add(flow.error());
+      return error_response(to_string(request.kind), request.id, diags);
+    }
+    const api::Stage target =
+        target_from(request.payload, api::Stage::kExported);
+    return finish_flow_request(request, flow.value(), target);
+  });
+}
+
+json::Value Server::handle_gen(const Request& request) {
+  return guarded(request, [&] {
+    const gen::GenOptions gopt =
+        api::gen_options_from_json(request.payload.at("gen"));
+    api::FlowOptions options;
+    if (const json::Value* o = request.payload.find("options")) {
+      options = api::flow_options_from_json(*o);
+    }
+    // The generator needs the characterized library up front (the flow
+    // would otherwise resolve it itself inside from_netlist).
+    auto library = api::LibraryCache::global().get(options.tech);
+    if (!library.ok()) {
+      util::Diagnostics diags;
+      diags.add(library.error());
+      return error_response(to_string(request.kind), request.id, diags);
+    }
+    options.library = library.value();
+    gen::Generated design = gen::generate(*options.library, gopt);
+    if (options.top_name == "TOP") options.top_name = design.name;
+    auto flow =
+        api::Flow::from_netlist(std::move(design.netlist), options);
     if (!flow.ok()) {
       util::Diagnostics diags;
       diags.add(flow.error());

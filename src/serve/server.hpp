@@ -121,6 +121,7 @@ class Server {
   [[nodiscard]] util::json::Value handle_sta(const Request& request);
   [[nodiscard]] util::json::Value handle_monte_carlo(const Request& request);
   [[nodiscard]] util::json::Value handle_batch(const Request& request);
+  [[nodiscard]] util::json::Value handle_gen(const Request& request);
   [[nodiscard]] util::json::Value handle_stats(const Request& request);
 
   /// Joins finished connection threads (called from the accept loop's

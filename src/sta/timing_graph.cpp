@@ -20,6 +20,17 @@ TimingGraph::TimingGraph(const flow::GateNetlist& netlist,
   full_update();
 }
 
+TimingGraph::TimingGraph(const TimingGraph& other,
+                         const flow::GateNetlist& netlist)
+    : TimingGraph(other) {
+  // Every cached value is indexed by net id / gate index, never by pointer,
+  // so retargeting the netlist pointer is the whole rebind. The caller
+  // guarantees `netlist` currently equals other's netlist gate-for-gate.
+  CNFET_REQUIRE(netlist.num_nets() == other.netlist_->num_nets());
+  CNFET_REQUIRE(netlist.gates().size() == other.netlist_->gates().size());
+  netlist_ = &netlist;
+}
+
 void TimingGraph::full_update() {
   const auto& gates = netlist_->gates();
   const auto n = static_cast<std::size_t>(netlist_->num_nets());

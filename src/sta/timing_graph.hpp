@@ -42,6 +42,14 @@ class TimingGraph {
                        const StaOptions& options = {},
                        double target_delay = 0.0);
 
+  /// Rebind clone: copies every cached arrival/slew/load/level/arc table
+  /// from `other` but reads gates from `netlist` — which must be currently
+  /// identical to other's netlist (the usual source is a plain copy). No
+  /// NLDM evaluation happens; the parallel sizing shards and the buffering
+  /// pass use this to get a private graph over a private netlist copy at
+  /// memcpy cost instead of a full build.
+  TimingGraph(const TimingGraph& other, const flow::GateNetlist& netlist);
+
   /// Rebuilds every level, load, arrival, slew, required time and slack
   /// from scratch (also run by the constructor).
   void full_update();

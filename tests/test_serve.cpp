@@ -343,6 +343,52 @@ TEST_F(ServeTest, ServedCompileIsByteIdenticalToTheLocalFlowForBothTechs) {
   }
 }
 
+TEST_F(ServeTest, GenRequestMatchesTheLocalGeneratorFlow) {
+  const int port = start();
+  auto c = client(port);
+  gen::GenOptions gopt;
+  gopt.family = gen::Family::kRandomDag;
+  gopt.target_gates = 200;
+  gopt.num_inputs = 16;
+  gopt.seed = 123;
+  json::Value request = serve::make_request(serve::RequestKind::kGen);
+  request.set("gen", api::to_json(gopt));
+  request.set("target", "placed");
+  auto response = c.call(std::move(request));
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response.value().get_bool("ok"))
+      << serve::response_diagnostics(response.value()).to_string();
+  const json::Value& result = response.value().at("result");
+  EXPECT_EQ(result.get_string("reached"), "placed");
+
+  // The served session is the same flow a local generate + from_netlist
+  // produces, metrics and session payload alike.
+  auto library = api::LibraryCache::global().get(layout::Tech::kCnfet65);
+  ASSERT_TRUE(library.ok());
+  auto design = gen::generate(*library.value(), gopt);
+  api::FlowOptions options;
+  options.library = library.value();
+  options.top_name = design.name;
+  auto local = api::Flow::from_netlist(std::move(design.netlist), options);
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(local.value().run(api::Stage::kPlaced).ok());
+  EXPECT_EQ(json::dump(result.at("metrics")),
+            json::dump(api::to_json(local.value().metrics())));
+  auto session = local.value().session_json();
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(json::dump(result.at("session")),
+            json::dump(session.value()));
+
+  // Unknown family comes back as a structured error on a live connection.
+  json::Value bad = serve::make_request(serve::RequestKind::kGen);
+  json::Value bad_gen = api::to_json(gopt);
+  bad_gen.set("family", "fft");
+  bad.set("gen", std::move(bad_gen));
+  auto refused = c.call(std::move(bad));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_FALSE(refused.value().get_bool("ok"));
+}
+
 TEST_F(ServeTest, SessionsRoundTripOverTheWireThroughResume) {
   const int port = start();
   auto c = client(port);

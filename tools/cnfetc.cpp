@@ -23,6 +23,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,10 @@ void print_usage(std::FILE* out) {
       "                 [--to STAGE] [--drive D] [--output-drive D]\n"
       "                 [--optimize] [--top NAME] [--cache-dir DIR]\n"
       "                 [--server HOST:PORT]\n"
+      "  cnfetc gen --family rca|cla|mul|rand --out DIR [--width N]\n"
+      "                 [--gates N] [--inputs N] [--seed S] [--drive D]\n"
+      "                 [--tech cnfet65|cmos65] [--to STAGE] [--optimize]\n"
+      "                 [--top NAME] [--cache-dir DIR] [--server HOST:PORT]\n"
       "  cnfetc batch JOBS.json [--threads N] [--report REPORT.json]\n"
       "                 [--fail-fast] [--cache-dir DIR]\n"
       "  cnfetc resume DIR [--to STAGE] [--cache-dir DIR]\n"
@@ -61,6 +66,11 @@ void print_usage(std::FILE* out) {
       "--cache-dir (or CNFET_LIBRARY_CACHE_DIR) keeps characterized\n"
       "libraries on disk as versioned JSON, so only the first run pays the\n"
       "characterization transients.\n"
+      "`gen` builds a deterministic at-scale benchmark design (ripple-carry\n"
+      "or carry-lookahead adder of --width bits, --width x --width array\n"
+      "multiplier, or a seeded random DAG of --gates gates over --inputs\n"
+      "primary inputs) and runs it through the flow like `compile` does —\n"
+      "same session dir, same artifacts, locally or via --server.\n"
       "`serve` starts the compile daemon (cnfetd in-process): it warms the\n"
       "library cache for every --warm tech (default: all) and serves\n"
       "compile/resume/sta/monte_carlo/batch requests over a line-delimited\n"
@@ -334,6 +344,94 @@ int cmd_compile(Args& args) {
   return finish_flow(flow.value(), target.value(), *out_dir);
 }
 
+int cmd_gen(Args& args) {
+  apply_cache_dir(args);
+  const auto* family_name = args.value_of("--family");
+  const auto* out_dir = args.value_of("--out");
+  if (family_name == nullptr) return usage("gen requires --family");
+  if (out_dir == nullptr) return usage("gen requires --out");
+  gen::GenOptions gopt;
+  const auto family = gen::family_from_string(*family_name);
+  if (!family.ok()) return usage(family.error().message.c_str());
+  gopt.family = family.value();
+  if (const auto* width = args.value_of("--width")) {
+    if (!parse_number(*width, &gopt.width) || gopt.width < 1) {
+      return usage(("--width is not a positive integer: " + *width).c_str());
+    }
+  }
+  if (const auto* gates = args.value_of("--gates")) {
+    if (!parse_number(*gates, &gopt.target_gates) || gopt.target_gates < 1) {
+      return usage(("--gates is not a positive integer: " + *gates).c_str());
+    }
+  }
+  if (const auto* inputs = args.value_of("--inputs")) {
+    if (!parse_number(*inputs, &gopt.num_inputs) || gopt.num_inputs < 1) {
+      return usage(("--inputs is not a positive integer: " + *inputs).c_str());
+    }
+  }
+  if (const auto* seed = args.value_of("--seed")) {
+    try {
+      std::size_t used = 0;
+      gopt.seed = std::stoull(*seed, &used);
+      if (used != seed->size()) throw std::invalid_argument(*seed);
+    } catch (const std::exception&) {
+      return usage(("--seed is not a uint64: " + *seed).c_str());
+    }
+  }
+  api::FlowOptions options;
+  if (const auto* tech = args.value_of("--tech")) {
+    auto parsed = api::tech_from_string(*tech);
+    if (!parsed.ok()) return usage(parsed.error().message.c_str());
+    options.tech = parsed.value();
+  }
+  if (const auto* drive = args.value_of("--drive")) {
+    if (!parse_number(*drive, &options.drive)) {
+      return usage(("--drive is not a number: " + *drive).c_str());
+    }
+    gopt.drive = options.drive;
+  }
+  if (args.has_switch("--optimize")) options.optimize = true;
+  const auto* top = args.value_of("--top");
+  if (top != nullptr) options.top_name = *top;
+  const auto target = target_stage(args);
+  if (!target.ok()) return usage(target.error().message.c_str());
+  const auto* server = args.value_of("--server");
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+  if (server != nullptr) {
+    auto request = serve::make_request(serve::RequestKind::kGen);
+    request.set("gen", api::to_json(gopt));
+    request.set("options", api::to_json(options));
+    request.set("target", api::to_string(target.value()));
+    return call_server(*server, std::move(request), *out_dir);
+  }
+  auto library = api::LibraryCache::global().get(options.tech);
+  if (!library.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", library.error().to_string().c_str());
+    return 1;
+  }
+  options.library = library.value();
+  gen::Generated design;
+  try {
+    design = gen::generate(*options.library, gopt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cnfetc: gen failed: %s\n", e.what());
+    return 1;
+  }
+  if (top == nullptr) options.top_name = design.name;
+  std::printf("generated %s: %zu gates, %zu inputs, %zu outputs\n",
+              design.name.c_str(), design.netlist.gates().size(),
+              design.netlist.inputs().size(),
+              design.netlist.outputs().size());
+  auto flow = api::Flow::from_netlist(std::move(design.netlist), options);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "cnfetc: %s\n", flow.error().to_string().c_str());
+    return 1;
+  }
+  return finish_flow(flow.value(), target.value(), *out_dir);
+}
+
 int cmd_resume(Args& args) {
   apply_cache_dir(args);
   // Flags first: positional() only knows a token is a flag *value* (not
@@ -519,6 +617,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   Args args(argc, argv, 2);
   if (command == "compile") return cmd_compile(args);
+  if (command == "gen") return cmd_gen(args);
   if (command == "batch") return cmd_batch(args);
   if (command == "resume") return cmd_resume(args);
   if (command == "jobs") return cmd_jobs(args);
