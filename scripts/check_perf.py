@@ -1,27 +1,32 @@
 #!/usr/bin/env python3
 """Perf regression gate over BENCH_perf.json.
 
-Fails (exit 1) when:
-  * the fast-engine speedups regressed more than 25% against the
-    checked-in baseline (scripts/perf_baseline.json) — speedups are
-    in-run ratios of the seed engine vs the fast engine in the same
-    binary on the same machine, so they are host-independent, unlike
+Per-section floors live in scripts/perf_baseline.json; every gated
+metric is printed as one measured-vs-floor table row. Fails (exit 1)
+when:
+  * a fast-engine speedup regressed more than 25% against its baseline
+    ratio — speedups are in-run ratios (seed vs fast engine in the same
+    binary on the same machine), so they are host-independent, unlike
     absolute milliseconds;
-  * the repo's acceptance floors are missed (>= 3x single-arc transient,
-    >= 5x cold characterization, >= 10x library disk-cache load vs serial
-    characterization, >= 5x warm daemon-served compile vs a cold local
-    compile);
-  * any accuracy/equivalence flag in the bench output is false (including
-    the daemon byte-identity flags from bench_serve's "serve" section);
-  * the at-scale floors are missed when bench_scale's "scale" section is
-    present (>= 10x incremental re-time at 10k gates, conservative
-    gates/sec floors per stage, oracle/signoff equivalence flags).
+  * a section's acceptance floor is missed (transient, characterization,
+    timing graph, library cache, daemon serve, the at-scale stage
+    throughputs, and the multicore-scaling ladders);
+  * any accuracy/equivalence flag in the bench output is false;
+  * the "scaling" section reports a nonzero steady-state allocation
+    count per warm characterization arc while allocation counting was
+    compiled in.
 
-Usage: python3 scripts/check_perf.py [BENCH_perf.json] [--only scale]
+The scaling-ladder speedup floors (bench_scaling's 1/2/4/N thread
+ladders) only gate on hosts with at least
+baseline["scaling"]["min_hardware_threads"] hardware threads — a
+speedup-vs-threads contract is unmeasurable on a box with fewer cores.
+The zero-allocation and bit-identity gates apply everywhere.
 
-`--only scale` gates just the "scale" section — for the CI scale job,
-which runs bench_scale alone and so produces a BENCH_perf.json without
-the other sections.
+Usage: python3 scripts/check_perf.py [BENCH_perf.json] [--only SECTION]
+
+`--only scale` / `--only scaling` gate just that section — for CI jobs
+that run one bench alone and so produce a BENCH_perf.json without the
+other sections.
 """
 from __future__ import annotations
 
@@ -30,69 +35,81 @@ import pathlib
 import sys
 
 REGRESSION_ALLOWANCE = 1.25  # >25% latency regression vs baseline fails
-FLOOR_TRANSIENT = 3.0
-FLOOR_CHARACTERIZATION = 5.0
-# Acceptance floor: incremental re-time after a single-gate edit of the
-# full adder must stay >= 10x faster than a full TimingGraph rebuild.
-FLOOR_TIMING_GRAPH = 10.0
-# Acceptance floor: a library disk-cache hit must beat serial
-# characterization by >= 10x (in practice it is orders of magnitude).
-FLOOR_LIBRARY_CACHE = 10.0
-# Acceptance floor: a compile served by a warm cnfetd must beat a cold
-# local compile (library cache cleared) by >= 5x. No baseline ratio —
-# bench_serve is newer than the perf baseline and the absolute floor is
-# the contract.
-FLOOR_SERVE_WARM = 5.0
-# Acceptance floor: at 10k gates a single-edit incremental re-time must
-# beat a full TimingGraph rebuild by >= 10x (measured 100x+; this is the
-# at-scale contract, not the small-design one gated above).
-FLOOR_SCALE_INCREMENTAL = 10.0
-# Conservative absolute gates/sec floors for the at-scale stages — set
-# 10-100x under measured dev-machine numbers, so they catch accidental
-# quadratic blowups (the regression mode that matters at 10k gates)
-# rather than host speed differences.
-SCALE_FLOORS = {
-    "generate_gates_per_sec": 50_000.0,
-    "map_nodes_per_sec": 100_000.0,
-    "time_10k_gates_per_sec": 50_000.0,
-    "place_10k_gates_per_sec": 10_000.0,
-    "signoff_10k_gates_per_sec": 100_000.0,
-    "export_10k_gates_per_sec": 50_000.0,
-    "opt_1k_gates_per_sec": 500.0,
-}
+
+rows: list[tuple[str, str, str, str]] = []  # (metric, measured, floor, status)
+failures: list[str] = []
 
 
-def fail(msg: str) -> None:
-    print(f"FAIL: {msg}")
-    fail.count += 1
+def check_floor(name: str, actual: float, floor: float,
+                unit: str = "x") -> None:
+    ok = actual >= floor
+    rows.append((name, f"{actual:.2f}{unit}", f">= {floor:.2f}{unit}",
+                 "ok" if ok else "REGRESSED"))
+    if not ok:
+        failures.append(f"{name} {actual:.2f}{unit} below minimum "
+                        f"{floor:.2f}{unit}")
 
 
-fail.count = 0
+def check_ceiling(name: str, actual: float, ceiling: float,
+                  unit: str = "") -> None:
+    ok = actual <= ceiling
+    rows.append((name, f"{actual:.2f}{unit}", f"<= {ceiling:.2f}{unit}",
+                 "ok" if ok else "REGRESSED"))
+    if not ok:
+        failures.append(f"{name} {actual:.2f}{unit} above maximum "
+                        f"{ceiling:.2f}{unit}")
 
 
-def check_scale(scale: dict) -> None:
-    name = "at-scale incremental re-time speedup (10k gates)"
-    actual = scale["incremental_timing_speedup_10k"]
-    status = "ok" if actual >= FLOOR_SCALE_INCREMENTAL else "REGRESSED"
-    print(f"{name}: {actual:.1f}x (minimum {FLOOR_SCALE_INCREMENTAL:.1f}x) "
-          f"{status}")
-    if actual < FLOOR_SCALE_INCREMENTAL:
-        fail(f"{name} {actual:.1f}x below minimum "
-             f"{FLOOR_SCALE_INCREMENTAL:.1f}x")
+def check_flag(name: str, value) -> None:
+    ok = value is True
+    rows.append((name, str(value), "true", "ok" if ok else "FAILED"))
+    if not ok:
+        failures.append(f"{name} is {value}")
 
-    for key, floor in SCALE_FLOORS.items():
-        actual = scale[key]
-        status = "ok" if actual >= floor else "REGRESSED"
-        print(f"scale.{key}: {actual:.0f} (minimum {floor:.0f}) {status}")
-        if actual < floor:
-            fail(f"scale.{key} {actual:.0f} below minimum {floor:.0f}")
 
+def skip(name: str, why: str) -> None:
+    rows.append((name, "-", "-", f"skipped ({why})"))
+
+
+def check_scale(scale: dict, floors: dict) -> None:
+    check_floor("scale.incremental_timing_speedup_10k",
+                scale["incremental_timing_speedup_10k"],
+                floors["incremental_timing_speedup_10k"])
+    for key, floor in floors["gates_per_sec"].items():
+        check_floor(f"scale.{key}", scale[key], floor, unit="")
     for flag in ["incremental_identical", "oracle_identical",
                  "signoff_clean"]:
-        value = scale[flag]
-        print(f"scale.{flag}: {value}")
-        if value is not True:
-            fail(f"scale.{flag} is {value}")
+        check_flag(f"scale.{flag}", scale[flag])
+
+
+def check_scaling(scaling: dict, floors: dict) -> None:
+    """The multicore-scaling ladders from bench_scaling."""
+    hardware = scaling["hardware_threads"]
+    min_threads = floors["min_hardware_threads"]
+    enough_cores = hardware >= min_threads
+    for section, floor in floors["speedup_t4"].items():
+        name = f"scaling.{section}.speedup_t4"
+        if enough_cores:
+            check_floor(name, scaling[section]["speedup_t4"], floor)
+        else:
+            skip(name, f"host has {hardware} < {min_threads} hardware "
+                 "threads")
+    for section in ["characterization", "monte_carlo", "run_batch",
+                    "opt_sizing"]:
+        check_flag(f"scaling.{section}.identical",
+                   scaling[section]["identical"])
+    if scaling["alloc_counting"]:
+        check_ceiling("scaling.allocs_per_arc", scaling["allocs_per_arc"],
+                      0.0)
+    else:
+        skip("scaling.allocs_per_arc",
+             "binary built without CNFET_COUNT_ALLOCS")
+
+
+def print_table() -> None:
+    width = max(len(r[0]) for r in rows)
+    for name, measured, floor, status in rows:
+        print(f"{name:<{width}}  {measured:>12}  {floor:>12}  {status}")
 
 
 def main() -> int:
@@ -108,70 +125,68 @@ def main() -> int:
     baseline = json.loads(baseline_path.read_text())
 
     if only == "scale":
-        check_scale(bench["scale"])
-        if fail.count:
-            return 1
-        print("perf gate passed")
-        return 0
-    if only is not None:
+        check_scale(bench["scale"], baseline["scale"])
+    elif only == "scaling":
+        check_scaling(bench["scaling"], baseline["scaling"])
+    elif only is not None:
         print(f"FAIL: unknown --only section '{only}'")
         return 1
+    else:
+        tran = bench["transient_single_arc"]
+        char = bench["characterization"]
+        tgraph = bench["timing_graph"]
+        libcache = bench["library_cache"]
+        serve = bench["serve"]
 
-    tran = bench["transient_single_arc"]
-    char = bench["characterization"]
-    tgraph = bench["timing_graph"]
-    libcache = bench["library_cache"]
-    serve = bench["serve"]
+        # Ratio gates: floor = max(section floor, baseline ratio less the
+        # 25% regression allowance).
+        def gated_floor(section: str, ratio_key: str) -> float:
+            b = baseline[section]
+            floor = b["floor"]
+            if ratio_key in b:
+                floor = max(floor, b[ratio_key] / REGRESSION_ALLOWANCE)
+            return floor
 
-    checks = [
-        ("single-arc transient speedup", tran["speedup"],
-         max(baseline["transient_single_arc_speedup"] / REGRESSION_ALLOWANCE,
-             FLOOR_TRANSIENT)),
-        ("characterization serial speedup", char["serial_speedup"],
-         max(baseline["characterization_serial_speedup"] /
-             REGRESSION_ALLOWANCE, FLOOR_CHARACTERIZATION)),
-        ("timing-graph incremental speedup", tgraph["speedup"],
-         max(baseline["timing_graph_incremental_speedup"] /
-             REGRESSION_ALLOWANCE, FLOOR_TIMING_GRAPH)),
-        ("library disk-cache load speedup", libcache["speedup"],
-         max(baseline["library_cache_load_speedup"] / REGRESSION_ALLOWANCE,
-             FLOOR_LIBRARY_CACHE)),
-        ("daemon warm-vs-cold compile speedup",
-         serve["warm_vs_cold_speedup"], FLOOR_SERVE_WARM),
-    ]
-    for name, actual, minimum in checks:
-        status = "ok" if actual >= minimum else "REGRESSED"
-        print(f"{name}: {actual:.2f}x (minimum {minimum:.2f}x) {status}")
-        if actual < minimum:
-            fail(f"{name} {actual:.2f}x below minimum {minimum:.2f}x "
-                 f"(latency regressed >25% vs scripts/perf_baseline.json)")
+        check_floor("transient_single_arc.speedup", tran["speedup"],
+                    gated_floor("transient_single_arc", "baseline_speedup"))
+        check_floor("characterization.serial_speedup",
+                    char["serial_speedup"],
+                    gated_floor("characterization", "baseline_speedup"))
+        check_floor("timing_graph.speedup", tgraph["speedup"],
+                    gated_floor("timing_graph", "baseline_speedup"))
+        check_floor("library_cache.speedup", libcache["speedup"],
+                    gated_floor("library_cache", "baseline_speedup"))
+        check_floor("serve.warm_vs_cold_speedup",
+                    serve["warm_vs_cold_speedup"],
+                    baseline["serve"]["floor"])
 
-    for section, flag in [
-        ("transient_single_arc", "within_tolerance"),
-        ("characterization", "delay_within_bounds"),
-        ("characterization", "parallel_identical"),
-        ("library_cache", "tables_exact"),
-        ("timing_graph", "identical"),
-        ("monte_carlo", "identical"),
-        ("run_batch", "identical"),
-        ("serve", "gds_identical"),
-        ("serve", "metrics_identical"),
-    ]:
-        value = bench[section][flag]
-        print(f"{section}.{flag}: {value}")
-        if value is not True:
-            fail(f"{section}.{flag} is {value}")
+        for section, flag in [
+            ("transient_single_arc", "within_tolerance"),
+            ("characterization", "delay_within_bounds"),
+            ("characterization", "parallel_identical"),
+            ("library_cache", "tables_exact"),
+            ("timing_graph", "identical"),
+            ("monte_carlo", "identical"),
+            ("run_batch", "identical"),
+            ("serve", "gds_identical"),
+            ("serve", "metrics_identical"),
+        ]:
+            check_flag(f"{section}.{flag}", bench[section][flag])
 
-    if char["energy_rel_err"] > 0.02:
-        fail(f"characterization energy_rel_err {char['energy_rel_err']:.4f} "
-             "exceeds 2%")
+        check_ceiling("characterization.energy_rel_err",
+                      char["energy_rel_err"], 0.02)
 
-    # The at-scale section is optional in the full run (bench_scale may not
-    # have been run); when present it is gated.
-    if "scale" in bench:
-        check_scale(bench["scale"])
+        # Sections written by separate benches are optional in the full
+        # run; when present they are gated.
+        if "scale" in bench:
+            check_scale(bench["scale"], baseline["scale"])
+        if "scaling" in bench:
+            check_scaling(bench["scaling"], baseline["scaling"])
 
-    if fail.count:
+    print_table()
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
         return 1
     print("perf gate passed")
     return 0

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "geom/segment.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -140,15 +141,21 @@ struct Event {
   int gate_input = 0;
 };
 
-}  // namespace
-
-std::vector<StrayEffect> trace_tube(const CellGeometry& geometry,
-                                    const std::vector<DVec2>& polyline) {
+/// trace_tube with caller-owned storage: the per-band event list and the
+/// pending chain live in `arena` (reset here, so the caller must not hold
+/// arena data across calls) and effects are APPENDED to `effects`. Once
+/// the arena blocks and the effects capacity are warm, tracing a tube
+/// touches the heap only when an effect with a non-empty chain is
+/// recorded — the Monte Carlo hot path (most tubes miss) allocates
+/// nothing.
+void trace_tube_into(const CellGeometry& geometry,
+                     const std::vector<DVec2>& polyline, util::Arena& arena,
+                     std::vector<StrayEffect>& effects) {
   CNFET_REQUIRE(polyline.size() >= 2);
-  std::vector<StrayEffect> effects;
+  arena.reset();
 
   for (const auto& band : geometry.bands) {
-    std::vector<Event> events;
+    util::ArenaVector<Event> events{util::ArenaAllocator<Event>(arena)};
     for (std::size_t s = 0; s + 1 < polyline.size(); ++s) {
       const Segment seg(polyline[s], polyline[s + 1]);
       const auto in_band = seg.clip(band.rect);
@@ -193,7 +200,7 @@ std::vector<StrayEffect> trace_tube(const CellGeometry& geometry,
     // chain; etch slots and band exits break continuity.
     bool have_anchor = false;
     NetId anchor = 0;
-    std::vector<StrayLink> pending;
+    util::ArenaVector<StrayLink> pending{util::ArenaAllocator<StrayLink>(arena)};
     for (const auto& ev : events) {
       switch (ev.kind) {
         case Event::Kind::kGap:
@@ -206,7 +213,11 @@ std::vector<StrayEffect> trace_tube(const CellGeometry& geometry,
           break;
         case Event::Kind::kContact:
           if (have_anchor && !(anchor == ev.net && pending.empty())) {
-            effects.push_back(StrayEffect{anchor, ev.net, pending});
+            StrayEffect effect;
+            effect.a = anchor;
+            effect.b = ev.net;
+            effect.chain.assign(pending.begin(), pending.end());
+            effects.push_back(std::move(effect));
           }
           have_anchor = true;
           anchor = ev.net;
@@ -215,8 +226,32 @@ std::vector<StrayEffect> trace_tube(const CellGeometry& geometry,
       }
     }
   }
+}
+
+}  // namespace
+
+std::vector<StrayEffect> trace_tube(const CellGeometry& geometry,
+                                    const std::vector<DVec2>& polyline) {
+  std::vector<StrayEffect> effects;
+  util::Arena arena;
+  trace_tube_into(geometry, polyline, arena, effects);
   return effects;
 }
+
+namespace {
+
+/// Per-worker Monte Carlo scratch (util::worker_scratch): the augmented
+/// netlist copy, the tube polyline/effect buffers, and the tracer arena
+/// all persist across the worker's trials, so a warm trial's only heap
+/// traffic is the rare effect chain and the netlist's own growth.
+struct McScratch {
+  CellNetlist augmented{0};  ///< placeholder shape; copy-assigned per trial
+  std::vector<DVec2> polyline;
+  std::vector<StrayEffect> effects;
+  util::Arena arena;
+};
+
+}  // namespace
 
 MonteCarloResult monte_carlo(const layout::CellLayout& layout,
                              const CellNetlist& cell,
@@ -244,7 +279,9 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
         util::derive_stream(seed, static_cast<std::uint64_t>(trial)));
     std::int64_t trial_shorts = 0;
     std::int64_t trial_chains = 0;
-    CellNetlist augmented = cell;
+    McScratch& scratch = util::worker_scratch<McScratch>();
+    CellNetlist& augmented = scratch.augmented;
+    augmented = cell;
     bool any_effect = false;
     for (int tube = 0; tube < model.tubes_per_trial; ++tube) {
       // Random center anywhere a tube could still intersect the cell.
@@ -273,7 +310,10 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
       const DVec2 mid = center;
       const DVec2 end = center + dir2 * (len / 2);
 
-      for (const auto& effect : trace_tube(geo, {start, mid, end})) {
+      scratch.polyline.assign({start, mid, end});
+      scratch.effects.clear();
+      trace_tube_into(geo, scratch.polyline, scratch.arena, scratch.effects);
+      for (const auto& effect : scratch.effects) {
         any_effect = true;
         if (effect.is_short()) {
           ++trial_shorts;
@@ -291,7 +331,10 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
     }
   };
 
-  const auto ran = util::parallel_for(trials, run_trial, num_threads);
+  // Trials are short (a handful of traces + one functional check), so a
+  // coarse grain keeps the span-claiming traffic negligible.
+  const auto ran =
+      util::parallel_for(trials, run_trial, num_threads, /*grain=*/16);
   // Trials never throw on valid inputs; a captured failure here is a
   // contract violation, reported under the legacy throwing contract.
   if (!ran.ok()) throw util::Error(ran.error().to_string());

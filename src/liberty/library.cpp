@@ -1,6 +1,7 @@
 #include "liberty/library.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
@@ -30,6 +31,17 @@ double NldmTable::at(std::size_t si, std::size_t li) const {
 }
 
 namespace {
+
+/// Index of the lower grid neighbour plus the interpolation fraction.
+/// Binary search: STA interpolates per gate per arc, so this is hot.
+/// Monotone stamp for each characterize_cell call: a worker's
+/// thread-local ArcScratch compares it against the epoch it last bound
+/// with and skips the rebuild when they match, so binding happens once
+/// per (worker, cell) even though every slew-row task requests it.
+std::uint64_t next_characterize_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
 
 /// Index of the lower grid neighbour plus the interpolation fraction.
 /// Binary search: STA interpolates per gate per arc, so this is hot.
@@ -99,69 +111,108 @@ device::DeviceModel bind_device(const netlist::Fet& fet,
   return device::mos_device(params, width_um, options.tech);
 }
 
-ArcMeasurement measure_arc(const CellNetlist& cell, int input,
-                           std::uint64_t side_values, bool in_rising,
-                           double slew, double load,
-                           const CharacterizeOptions& options) {
-  sim::Circuit ckt;
-  const double vdd = options.tech.vdd;
+void ArcScratch::bind(const CellNetlist& cell,
+                      const CharacterizeOptions& options,
+                      std::uint64_t epoch) {
+  if (epoch != 0 && epoch == epoch_ && cell_ == &cell) return;
+  cell_ = &cell;
+  epoch_ = epoch;
+  vdd_ = options.tech.vdd;
 
-  // Map cell nets to circuit nodes.
-  std::vector<int> node_of(static_cast<std::size_t>(cell.num_nets()), 0);
-  node_of[CellNetlist::kGnd] = sim::Circuit::kGround;
-  node_of[CellNetlist::kVdd] = ckt.add_node("vdd");
-  node_of[CellNetlist::kOut] = ckt.add_node("out");
+  // Element-for-element the same construction the unbound measure_arc
+  // performed historically, so the MNA system — and therefore every
+  // measured number — is bit-identical. Source waves and the output load
+  // get placeholder values here; each grid point reshapes them in place.
+  circuit_.reset();
+  node_of_.assign(static_cast<std::size_t>(cell.num_nets()), 0);
+  node_of_[CellNetlist::kGnd] = sim::Circuit::kGround;
+  node_of_[CellNetlist::kVdd] = circuit_.add_node("vdd");
+  node_of_[CellNetlist::kOut] = circuit_.add_node("out");
   for (int n = 3; n < cell.num_nets(); ++n) {
-    node_of[static_cast<std::size_t>(n)] = ckt.add_node(cell.net_name(n));
+    node_of_[static_cast<std::size_t>(n)] = circuit_.add_node(cell.net_name(n));
   }
-  const int supply =
-      ckt.add_vsource(node_of[CellNetlist::kVdd], sim::Circuit::kGround,
-                      sim::Pwl(vdd));
+  supply_ = circuit_.add_vsource(node_of_[CellNetlist::kVdd],
+                                 sim::Circuit::kGround, sim::Pwl(vdd_));
 
-  // Input drivers.
-  const double t_edge = 60e-12;
-  std::vector<int> input_node(static_cast<std::size_t>(cell.num_inputs()));
+  input_node_.assign(static_cast<std::size_t>(cell.num_inputs()), 0);
+  input_source_.assign(static_cast<std::size_t>(cell.num_inputs()), 0);
   for (int i = 0; i < cell.num_inputs(); ++i) {
-    input_node[static_cast<std::size_t>(i)] =
-        ckt.add_node("in" + std::to_string(i));
-    sim::Pwl wave;
-    if (i == input) {
-      wave = in_rising ? sim::Pwl::pulse(0.0, vdd, t_edge, slew, 1.0, slew)
-                       : sim::Pwl::pulse(vdd, 0.0, t_edge, slew, 1.0, slew);
-    } else {
-      wave = sim::Pwl(((side_values >> i) & 1) ? vdd : 0.0);
-    }
-    (void)ckt.add_vsource(input_node[static_cast<std::size_t>(i)],
-                          sim::Circuit::kGround, wave);
+    input_node_[static_cast<std::size_t>(i)] =
+        circuit_.add_node("in" + std::to_string(i));
+    input_source_[static_cast<std::size_t>(i)] =
+        circuit_.add_vsource(input_node_[static_cast<std::size_t>(i)],
+                             sim::Circuit::kGround, sim::Pwl(0.0));
   }
 
-  // FETs and caps.
-  double input_gate_cap = 0.0;
   for (const auto& f : cell.fets()) {
     auto model = bind_device(f, options);
-    const int gate = input_node[static_cast<std::size_t>(f.gate_input)];
+    const int gate = input_node_[static_cast<std::size_t>(f.gate_input)];
     const auto polarity = f.type == netlist::FetType::kN ? sim::Polarity::kN
                                                          : sim::Polarity::kP;
     // Junction caps at both channel terminals.
-    ckt.add_capacitor(node_of[static_cast<std::size_t>(f.a)],
-                      sim::Circuit::kGround, model.c_drain / 2);
-    ckt.add_capacitor(node_of[static_cast<std::size_t>(f.b)],
-                      sim::Circuit::kGround, model.c_drain / 2);
-    if (f.gate_input == input) input_gate_cap += model.c_gate;
-    ckt.add_capacitor(gate, sim::Circuit::kGround, model.c_gate);
-    ckt.add_fet(polarity, gate,
-                node_of[static_cast<std::size_t>(f.a)],
-                node_of[static_cast<std::size_t>(f.b)], std::move(model));
+    circuit_.add_capacitor(node_of_[static_cast<std::size_t>(f.a)],
+                           sim::Circuit::kGround, model.c_drain / 2);
+    circuit_.add_capacitor(node_of_[static_cast<std::size_t>(f.b)],
+                           sim::Circuit::kGround, model.c_drain / 2);
+    circuit_.add_capacitor(gate, sim::Circuit::kGround, model.c_gate);
+    circuit_.add_fet(polarity, gate,
+                     node_of_[static_cast<std::size_t>(f.a)],
+                     node_of_[static_cast<std::size_t>(f.b)],
+                     std::move(model));
   }
-  (void)input_gate_cap;
-  ckt.add_capacitor(node_of[CellNetlist::kOut], sim::Circuit::kGround, load);
+  circuit_.add_capacitor(node_of_[CellNetlist::kOut], sim::Circuit::kGround,
+                         1e-15);
+  load_cap_ = static_cast<int>(circuit_.caps().size()) - 1;
 
   // Only the measured waveforms are materialized: the toggling input, the
   // output, and (for the failure diagnostic) the pinned side inputs.
-  sim::TransientOptions topt = options.transient;
-  topt.record_nodes = input_node;
-  topt.record_nodes.push_back(node_of[CellNetlist::kOut]);
-  const sim::Transient tran(ckt, topt);
+  topt_ = options.transient;
+  topt_.record_nodes = input_node_;
+  topt_.record_nodes.push_back(node_of_[CellNetlist::kOut]);
+}
+
+ArcMeasurement measure_arc(const CellNetlist& cell, int input,
+                           std::uint64_t side_values, bool in_rising,
+                           double slew, double load,
+                           const CharacterizeOptions& options,
+                           ArcScratch* scratch) {
+  if (scratch == nullptr) {
+    // Cold path: a stack scratch keeps a single code path; all buffers
+    // are built here and freed on return, exactly like the historical
+    // per-call construction.
+    ArcScratch local;
+    local.bind(cell, options);
+    return measure_arc(cell, input, side_values, in_rising, slew, load,
+                       options, &local);
+  }
+  ArcScratch& s = *scratch;
+  CNFET_REQUIRE_MSG(s.bound_to(cell),
+                    "measure_arc scratch is not bound to this cell");
+  const double vdd = s.vdd_;
+  const std::vector<int>& node_of = s.node_of_;
+  const std::vector<int>& input_node = s.input_node_;
+  const int supply = s.supply_;
+  const sim::TransientOptions& topt = s.topt_;
+
+  // Reshape the grid-point-dependent element values in place (the
+  // circuit topology is fixed by bind); zero heap traffic once warm.
+  const double t_edge = 60e-12;
+  for (int i = 0; i < cell.num_inputs(); ++i) {
+    sim::Pwl& wave =
+        s.circuit_.source_wave(s.input_source_[static_cast<std::size_t>(i)]);
+    if (i == input) {
+      if (in_rising) {
+        wave.set_pulse(0.0, vdd, t_edge, slew, 1.0, slew);
+      } else {
+        wave.set_pulse(vdd, 0.0, t_edge, slew, 1.0, slew);
+      }
+    } else {
+      wave.set_dc(((side_values >> i) & 1) ? vdd : 0.0);
+    }
+  }
+  s.circuit_.set_capacitance(s.load_cap_, load);
+
+  const sim::Transient tran(s.circuit_, topt, &s.sim_);
 
   const auto& vin = tran.v(input_node[static_cast<std::size_t>(input)]);
   const auto& vout = tran.v(node_of[CellNetlist::kOut]);
@@ -257,10 +308,15 @@ LibCell characterize_cell(const layout::CellSpec& spec, double drive,
         bind_device(f, options).c_gate;
   }
 
-  // Every (arc, slew, load) grid point is an independent transient, so the
-  // whole measurement grid fans out over the worker pool. Results land in a
-  // vector slot keyed by flattened index and the tables are filled from it
-  // in order, so the library is bit-identical for any thread count.
+  // Every (arc, slew, load) grid point is an independent transient.
+  // Sharding is by (arc, slew ROW): coarse enough that a task amortizes
+  // its worker's scratch bind over a whole row of loads, fine enough
+  // that a 15-cell library still fans out well past 8 workers. Each
+  // worker holds one thread-local ArcScratch re-bound at most once per
+  // cell (the epoch short-circuit), so steady-state grid points allocate
+  // nothing. Results land in slots keyed by flattened index and the
+  // tables are filled from them in order, so the library is
+  // bit-identical for any thread count.
   struct ArcKey {
     int input;
     bool in_rising;
@@ -277,21 +333,28 @@ LibCell characterize_cell(const layout::CellSpec& spec, double drive,
   const std::size_t n_slews = options.slew_grid.size();
   const std::size_t n_loads = options.load_grid.size();
   const std::size_t grid = n_slews * n_loads;
-  auto measured = util::parallel_map(
-      static_cast<std::int64_t>(keys.size() * grid),
-      [&](std::int64_t j) {
-        const auto ji = static_cast<std::size_t>(j);
-        const ArcKey& key = keys[ji / grid];
-        const std::size_t si = (ji % grid) / n_loads;
-        const std::size_t li = ji % n_loads;
-        return measure_arc(cell_ref.netlist, key.input, key.side,
-                           key.in_rising, options.slew_grid[si],
-                           options.load_grid[li], options);
+  const std::uint64_t epoch = next_characterize_epoch();
+  std::vector<ArcMeasurement> measured(keys.size() * grid);
+  const auto ran = util::parallel_for(
+      static_cast<std::int64_t>(keys.size() * n_slews),
+      [&](std::int64_t task) {
+        const auto ti = static_cast<std::size_t>(task);
+        const std::size_t ki = ti / n_slews;
+        const std::size_t si = ti % n_slews;
+        const ArcKey& key = keys[ki];
+        ArcScratch& scratch = util::worker_scratch<ArcScratch>();
+        scratch.bind(cell_ref.netlist, options, epoch);
+        for (std::size_t li = 0; li < n_loads; ++li) {
+          measured[ki * grid + si * n_loads + li] = measure_arc(
+              cell_ref.netlist, key.input, key.side, key.in_rising,
+              options.slew_grid[si], options.load_grid[li], options,
+              &scratch);
+        }
       },
       options.num_threads);
   // Re-raise a captured measurement failure under the layer's throwing
   // contract (the api:: boundary converts it back into a Diagnostic).
-  if (!measured.ok()) throw util::Error(measured.error().message);
+  if (!ran.ok()) throw util::Error(ran.error().message);
 
   std::size_t j = 0;
   for (const ArcKey& key : keys) {
@@ -304,7 +367,7 @@ LibCell characterize_cell(const layout::CellSpec& spec, double drive,
     arc.energy = NldmTable(options.slew_grid, options.load_grid);
     for (std::size_t si = 0; si < n_slews; ++si) {
       for (std::size_t li = 0; li < n_loads; ++li) {
-        const ArcMeasurement& m = measured.value()[j++];
+        const ArcMeasurement& m = measured[j++];
         arc.delay.set(si, li, m.delay);
         arc.out_slew.set(si, li, m.out_slew);
         arc.energy.set(si, li, m.energy);

@@ -106,6 +106,58 @@ struct ArcMeasurement {
   double energy = 0.0;    ///< J drawn from the supply over the transient
 };
 
+/// Reusable per-worker measurement state for measure_arc: the cell's
+/// simulator circuit is built ONCE by bind(), and each grid point then
+/// only reshapes the input source waves and the output load cap before
+/// running a scratch-backed transient — so a warm characterization arc
+/// performs zero heap allocations. One scratch per worker thread
+/// (util::worker_scratch), never shared concurrently; results are
+/// bit-identical to the unbound measure_arc path because the circuit is
+/// built element-for-element the same way.
+class ArcScratch {
+ public:
+  ArcScratch() = default;
+  ArcScratch(const ArcScratch&) = delete;
+  ArcScratch& operator=(const ArcScratch&) = delete;
+
+  /// (Re)builds the measurement circuit for `cell`, reusing every buffer
+  /// capacity-preservingly. The cell and options must outlive the bound
+  /// scratch's use. A nonzero `epoch` short-circuits rebinding when it
+  /// matches the previous bind — characterize_cell stamps each call with
+  /// a fresh epoch so a worker's thread-local scratch rebinds once per
+  /// (worker, cell) rather than once per task; epoch 0 always rebuilds.
+  void bind(const netlist::CellNetlist& cell,
+            const CharacterizeOptions& options, std::uint64_t epoch = 0);
+
+  /// True when bound to exactly this cell object (the measure_arc
+  /// precondition for the scratch-backed path).
+  [[nodiscard]] bool bound_to(const netlist::CellNetlist& cell) const {
+    return cell_ == &cell;
+  }
+
+  /// The simulator scratch, exposed for the workspace-stability tests.
+  [[nodiscard]] sim::SimScratch& sim() { return sim_; }
+
+ private:
+  friend ArcMeasurement measure_arc(const netlist::CellNetlist& cell,
+                                    int input, std::uint64_t side_values,
+                                    bool in_rising, double slew, double load,
+                                    const CharacterizeOptions& options,
+                                    ArcScratch* scratch);
+
+  sim::Circuit circuit_;
+  sim::SimScratch sim_;
+  sim::TransientOptions topt_;
+  std::vector<int> node_of_;       ///< cell net -> circuit node
+  std::vector<int> input_node_;    ///< circuit node per cell input
+  std::vector<int> input_source_;  ///< source index per cell input
+  int supply_ = -1;                ///< supply source index
+  int load_cap_ = -1;              ///< output load capacitor index
+  double vdd_ = 0.0;
+  const netlist::CellNetlist* cell_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
 /// The layout-construction options characterize_cell uses for a cell at
 /// `drive`. Exposed so a persisted library (api::serialize) can rebuild
 /// each cell's geometry exactly as characterization built it — the NLDM
@@ -118,11 +170,15 @@ struct ArcMeasurement {
 /// `input` toggling, the other inputs pinned to `side_values`, and the
 /// output loaded with `load`. Exposed for the perf bench and the
 /// engine-equivalence tests; characterize_cell drives it over the grid.
+/// With a `scratch` already bound to `cell`, the call reuses its circuit
+/// and simulator buffers (zero steady-state allocations); null scratch
+/// builds everything locally, with identical results.
 [[nodiscard]] ArcMeasurement measure_arc(const netlist::CellNetlist& cell,
                                          int input, std::uint64_t side_values,
                                          bool in_rising, double slew,
                                          double load,
-                                         const CharacterizeOptions& options);
+                                         const CharacterizeOptions& options,
+                                         ArcScratch* scratch = nullptr);
 
 /// Characterizes one cell at the given drive strength.
 [[nodiscard]] LibCell characterize_cell(const layout::CellSpec& spec,

@@ -57,11 +57,12 @@ void size_gates(GateNetlist& netlist, sta::TimingGraph& graph,
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<Candidate> candidates;
   std::vector<double> measured;
+  std::vector<int> path;
 
   for (int round = 0; round < options.max_sizing_rounds; ++round) {
     const double worst = graph.worst_arrival();
     if (options.target_delay > 0.0 && worst <= options.target_delay) return;
-    const auto path = graph.critical_gates();
+    graph.critical_gates(path);
 
     // Enumerate every in-budget resize on the critical path. The sweep
     // accepts at most the single best one per round.
@@ -99,8 +100,21 @@ void size_gates(GateNetlist& netlist, sta::TimingGraph& graph,
       // built once (rebind-clone, no NLDM re-evaluation) and kept in sync
       // with each accepted resize below.
       graph.retime();
-      while (static_cast<int>(shards.size()) < workers) {
-        shards.push_back(std::make_unique<Shard>(netlist, graph));
+      if (static_cast<int>(shards.size()) < workers) {
+        // A clone only READS the live netlist and (post-retime) graph, so
+        // the missing shards build concurrently — at 10k gates the copies
+        // dominate the first sharded round's cost.
+        const std::size_t first = shards.size();
+        shards.resize(static_cast<std::size_t>(workers));
+        const auto built = util::parallel_for(
+            static_cast<std::int64_t>(workers) -
+                static_cast<std::int64_t>(first),
+            [&](std::int64_t i) {
+              shards[first + static_cast<std::size_t>(i)] =
+                  std::make_unique<Shard>(netlist, graph);
+            },
+            workers);
+        if (!built.ok()) throw util::Error(built.error().message);
       }
       measured.assign(candidates.size(), 0.0);
       const std::size_t chunk =

@@ -21,14 +21,25 @@ double Pwl::at(double t) const {
 
 Pwl Pwl::pulse(double v0, double v1, double t0, double trise, double t1,
                double tfall) {
-  CNFET_REQUIRE(t0 >= 0 && trise > 0 && t1 >= t0 + trise && tfall > 0);
   Pwl w;
-  w.add(0.0, v0);
-  w.add(t0, v0);
-  w.add(t0 + trise, v1);
-  w.add(t1, v1);
-  w.add(t1 + tfall, v0);
+  w.set_pulse(v0, v1, t0, trise, t1, tfall);
   return w;
+}
+
+void Pwl::set_dc(double dc) {
+  points_.clear();
+  points_.push_back({0.0, dc});
+}
+
+void Pwl::set_pulse(double v0, double v1, double t0, double trise, double t1,
+                    double tfall) {
+  CNFET_REQUIRE(t0 >= 0 && trise > 0 && t1 >= t0 + trise && tfall > 0);
+  points_.clear();
+  points_.push_back({0.0, v0});
+  points_.push_back({t0, v0});
+  points_.push_back({t0 + trise, v1});
+  points_.push_back({t1, v1});
+  points_.push_back({t1 + tfall, v0});
 }
 
 int Circuit::add_node(const std::string& name) {
@@ -64,6 +75,28 @@ void Circuit::add_fet(Polarity polarity, int gate, int drain, int source,
   check_node(source);
   CNFET_REQUIRE(model.ids != nullptr);
   fets_.push_back({polarity, gate, drain, source, std::move(model)});
+}
+
+void Circuit::reset() {
+  node_names_.clear();
+  node_names_.push_back("0");
+  caps_.clear();
+  ress_.clear();
+  sources_.clear();
+  fets_.clear();
+}
+
+Pwl& Circuit::source_wave(int source_index) {
+  CNFET_REQUIRE(source_index >= 0 &&
+                source_index < static_cast<int>(sources_.size()));
+  return sources_[static_cast<std::size_t>(source_index)].wave;
+}
+
+void Circuit::set_capacitance(int cap_index, double farads) {
+  CNFET_REQUIRE(cap_index >= 0 &&
+                cap_index < static_cast<int>(caps_.size()));
+  CNFET_REQUIRE(farads > 0);
+  caps_[static_cast<std::size_t>(cap_index)].c = farads;
 }
 
 void Circuit::add_inverter(const device::InverterModel& inv, int in, int out,

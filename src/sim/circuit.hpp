@@ -44,6 +44,14 @@ class Pwl {
   [[nodiscard]] static Pwl pulse(double v0, double v1, double t0,
                                  double trise, double t1, double tfall);
 
+  /// In-place rewrites reusing the points buffer — the hot
+  /// characterization loop reshapes a bound circuit's sources between
+  /// runs instead of rebuilding the circuit, with zero heap traffic
+  /// once the buffer is warm.
+  void set_dc(double dc);
+  void set_pulse(double v0, double v1, double t0, double trise, double t1,
+                 double tfall);
+
  private:
   std::vector<std::pair<double, double>> points_;
 };
@@ -75,6 +83,20 @@ class Circuit {
   /// from `vdd_node` and down to ground.
   void add_inverter(const device::InverterModel& inv, int in, int out,
                     int vdd_node);
+
+  /// Back to the just-constructed state (ground only, no elements) while
+  /// KEEPING every vector's capacity — the rebuild path of a reused
+  /// scratch circuit.
+  void reset();
+
+  /// Mutable wave of an existing source, for in-place reshaping between
+  /// transient runs (Pwl::set_dc/set_pulse). The solver re-reads waves
+  /// on bind, so mutate-then-run needs no other invalidation.
+  [[nodiscard]] Pwl& source_wave(int source_index);
+
+  /// Overwrites an existing capacitor's value (e.g. the output load of a
+  /// reused characterization circuit). farads must stay > 0.
+  void set_capacitance(int cap_index, double farads);
 
   // --- element access for the engine ---
   struct Cap {

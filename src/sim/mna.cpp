@@ -1,0 +1,204 @@
+#include "sim/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/transient.hpp"
+#include "util/error.hpp"
+
+namespace cnfet::sim {
+
+namespace {
+
+/// Dense LU solve with partial pivoting (in place); systems here are tiny.
+void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
+  auto at = [&](int r, int c) -> double& {
+    return a[static_cast<std::size_t>(r) * n + c];
+  };
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(pivot, col))) pivot = r;
+    }
+    CNFET_REQUIRE_MSG(std::fabs(at(pivot, col)) > 1e-18,
+                      "singular MNA matrix (floating node?)");
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(b[static_cast<std::size_t>(pivot)],
+                b[static_cast<std::size_t>(col)]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      const double f = at(r, col) / at(col, col);
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c) at(r, c) -= f * at(col, c);
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c) {
+      sum -= at(r, c) * b[static_cast<std::size_t>(c)];
+    }
+    b[static_cast<std::size_t>(r)] = sum / at(r, r);
+  }
+}
+
+}  // namespace
+
+void MnaSolver::bind(const Circuit& circuit, const TransientOptions& options) {
+  options_ = &options;
+  num_nodes = circuit.num_nodes();
+  num_src = static_cast<int>(circuit.sources().size());
+  dim = (num_nodes - 1) + num_src;
+  CNFET_REQUIRE(dim > 0);
+
+  v.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  v_prev.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  branch.assign(static_cast<std::size_t>(num_src), 0.0);
+  jac_.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+  base_.assign(static_cast<std::size_t>(dim) * dim, 0.0);
+  rhs_.assign(static_cast<std::size_t>(dim), 0.0);
+  base_h_ = -1.0;
+
+  // Flat matrix slot for (row node, col node), -1 when either is ground.
+  auto jslot = [&](int nr, int nc) {
+    if (nr <= 0 || nc <= 0) return -1;
+    return (nr - 1) * dim + (nc - 1);
+  };
+  auto rslot = [](int n) { return n > 0 ? n - 1 : -1; };
+
+  ress_.clear();
+  for (const auto& r : circuit.ress()) {
+    ress_.push_back({r.a, r.b, jslot(r.a, r.a), jslot(r.b, r.b),
+                     jslot(r.a, r.b), jslot(r.b, r.a), rslot(r.a),
+                     rslot(r.b), r.g});
+  }
+  caps_.clear();
+  for (const auto& c : circuit.caps()) {
+    caps_.push_back({c.a, c.b, jslot(c.a, c.a), jslot(c.b, c.b),
+                     jslot(c.a, c.b), jslot(c.b, c.a), rslot(c.a),
+                     rslot(c.b), c.c});
+  }
+  fets_.clear();
+  for (const auto& f : circuit.fets()) {
+    fets_.push_back({f.gate, f.drain, f.source, jslot(f.drain, f.gate),
+                     jslot(f.drain, f.drain), jslot(f.drain, f.source),
+                     jslot(f.source, f.gate), jslot(f.source, f.drain),
+                     jslot(f.source, f.source), rslot(f.drain),
+                     rslot(f.source), &f});
+  }
+  srcs_.clear();
+  for (int s = 0; s < num_src; ++s) {
+    const auto& src = circuit.sources()[static_cast<std::size_t>(s)];
+    const int brow = (num_nodes - 1) + s;
+    SrcPlan p;
+    p.npos = src.pos;
+    p.nneg = src.neg;
+    p.brow = brow;
+    p.jpb = src.pos > 0 ? (src.pos - 1) * dim + brow : -1;
+    p.jnb = src.neg > 0 ? (src.neg - 1) * dim + brow : -1;
+    p.jbp = src.pos > 0 ? brow * dim + (src.pos - 1) : -1;
+    p.jbn = src.neg > 0 ? brow * dim + (src.neg - 1) : -1;
+    p.rp = rslot(src.pos);
+    p.rn = rslot(src.neg);
+    p.wave = &src.wave;
+    srcs_.push_back(p);
+  }
+}
+
+bool MnaSolver::solve(double t, double h) {
+  if (h != base_h_) rebuild_base(h);
+  for (int iter = 0; iter < options_->max_newton; ++iter) {
+    std::copy(base_.begin(), base_.end(), jac_.begin());
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    for (const auto& p : ress_) {
+      const double i = p.g * (v[static_cast<std::size_t>(p.na)] -
+                              v[static_cast<std::size_t>(p.nb)]);
+      if (p.ra >= 0) rhs_[static_cast<std::size_t>(p.ra)] -= i;
+      if (p.rb >= 0) rhs_[static_cast<std::size_t>(p.rb)] += i;
+    }
+    const double inv_h = 1.0 / h;
+    for (const auto& p : caps_) {
+      const double dv_now = v[static_cast<std::size_t>(p.na)] -
+                            v[static_cast<std::size_t>(p.nb)];
+      const double dv_old = v_prev[static_cast<std::size_t>(p.na)] -
+                            v_prev[static_cast<std::size_t>(p.nb)];
+      const double i = p.c * inv_h * (dv_now - dv_old);
+      if (p.ra >= 0) rhs_[static_cast<std::size_t>(p.ra)] -= i;
+      if (p.rb >= 0) rhs_[static_cast<std::size_t>(p.rb)] += i;
+    }
+    for (const auto& p : fets_) {
+      const double vg = v[static_cast<std::size_t>(p.ng)];
+      const double vd = v[static_cast<std::size_t>(p.nd)];
+      const double vs = v[static_cast<std::size_t>(p.ns)];
+      // The FD branch is the seed engine's Jacobian, kept for A/B runs.
+      const FetGrad g = options_->analytic_jacobian
+                            ? fet_current_grad(*p.fet, vg, vd, vs)
+                            : fet_current_fd_grad(*p.fet, vg, vd, vs);
+      if (p.rd >= 0) rhs_[static_cast<std::size_t>(p.rd)] -= g.i;
+      if (p.rs >= 0) rhs_[static_cast<std::size_t>(p.rs)] += g.i;
+      if (p.jdg >= 0) jac_[static_cast<std::size_t>(p.jdg)] += g.di_dvg;
+      if (p.jdd >= 0) jac_[static_cast<std::size_t>(p.jdd)] += g.di_dvd;
+      if (p.jds >= 0) jac_[static_cast<std::size_t>(p.jds)] += g.di_dvs;
+      if (p.jsg >= 0) jac_[static_cast<std::size_t>(p.jsg)] -= g.di_dvg;
+      if (p.jsd >= 0) jac_[static_cast<std::size_t>(p.jsd)] -= g.di_dvd;
+      if (p.jss >= 0) jac_[static_cast<std::size_t>(p.jss)] -= g.di_dvs;
+    }
+    for (int s = 0; s < num_src; ++s) {
+      const auto& p = srcs_[static_cast<std::size_t>(s)];
+      const double ib = branch[static_cast<std::size_t>(s)];
+      if (p.rp >= 0) rhs_[static_cast<std::size_t>(p.rp)] -= ib;
+      if (p.rn >= 0) rhs_[static_cast<std::size_t>(p.rn)] += ib;
+      // Branch equation v_pos - v_neg = V(t).
+      rhs_[static_cast<std::size_t>(p.brow)] -=
+          (v[static_cast<std::size_t>(p.npos)] -
+           v[static_cast<std::size_t>(p.nneg)] - p.wave->at(t));
+    }
+
+    solve_dense(jac_, rhs_, dim);
+
+    double worst = 0.0;
+    for (int n = 1; n < num_nodes; ++n) {
+      double dv = rhs_[static_cast<std::size_t>(n - 1)];
+      dv = std::clamp(dv, -0.3, 0.3);  // Newton damping
+      v[static_cast<std::size_t>(n)] += dv;
+      worst = std::max(worst, std::fabs(dv));
+    }
+    for (int s = 0; s < num_src; ++s) {
+      branch[static_cast<std::size_t>(s)] +=
+          rhs_[static_cast<std::size_t>((num_nodes - 1) + s)];
+    }
+    if (worst < options_->vtol) return true;
+  }
+  return false;
+}
+
+void MnaSolver::rebuild_base(double h) {
+  std::fill(base_.begin(), base_.end(), 0.0);
+  auto add = [&](int slot, double value) {
+    if (slot >= 0) base_[static_cast<std::size_t>(slot)] += value;
+  };
+  for (const auto& p : ress_) {
+    add(p.jaa, p.g);
+    add(p.jbb, p.g);
+    add(p.jab, -p.g);
+    add(p.jba, -p.g);
+  }
+  for (const auto& p : caps_) {
+    const double g = p.c / h;
+    add(p.jaa, g);
+    add(p.jbb, g);
+    add(p.jab, -g);
+    add(p.jba, -g);
+  }
+  for (const auto& p : srcs_) {
+    add(p.jpb, 1.0);
+    add(p.jnb, -1.0);
+    add(p.jbp, 1.0);
+    add(p.jbn, -1.0);
+  }
+  base_h_ = h;
+}
+
+}  // namespace cnfet::sim

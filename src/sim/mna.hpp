@@ -1,0 +1,101 @@
+// MNA Newton core operating off a stamp plan precomputed per bind().
+//
+// The sparsity of the system is fixed per circuit, so every element's
+// destination slots (flat indices into the dense matrix and the RHS) are
+// resolved up front; the per-iteration work is pure arithmetic over
+// those index lists — no lambda dispatch and no re-derivation of node
+// positions. The h-dependent constant part of the Jacobian (resistor
+// conductances, capacitor c/h stamps, source incidence +-1) lives in
+// `base_` and is rebuilt only when h changes; each Newton iteration
+// copies it and adds just the FET small-signal entries.
+//
+// Reuse contract: bind() refills every plan and workspace with clear() +
+// assign() so capacities survive — rebinding a solver to a same-shape
+// circuit performs zero heap allocations, which is how a characterization
+// arc stays allocation-free (one solver per worker in sim::SimScratch,
+// re-bound per Transient run).
+#pragma once
+
+#include <vector>
+
+#include "sim/circuit.hpp"
+
+namespace cnfet::sim {
+
+struct TransientOptions;
+
+class MnaSolver {
+ public:
+  /// An unbound solver: bind() before solve(). Default-constructible so
+  /// SimScratch can hold one per worker.
+  MnaSolver() = default;
+  MnaSolver(const Circuit& circuit, const TransientOptions& options) {
+    bind(circuit, options);
+  }
+
+  /// (Re)binds to a circuit: rebuilds stamp plans and sizes workspaces,
+  /// reusing existing capacity. The circuit and options must outlive the
+  /// solver's use; element VALUES are re-read here, so mutate-then-bind
+  /// (Circuit::set_capacitance, Pwl::set_pulse) is the hot-loop idiom.
+  void bind(const Circuit& circuit, const TransientOptions& options);
+
+  /// One backward-Euler Newton solve for the state at time t with step h,
+  /// starting from (and updating) v/branch; v_prev holds the state at t-h.
+  /// Returns false when Newton fails to converge (caller shrinks h).
+  bool solve(double t, double h);
+
+  std::vector<double> v;       ///< node voltages (index = node, 0 = ground)
+  std::vector<double> v_prev;  ///< state at the previous accepted time
+  std::vector<double> branch;  ///< source branch currents (into pos)
+  int num_nodes = 0;
+  int num_src = 0;
+  int dim = 0;
+
+  /// Workspace identity probes for the reuse regression tests: a rebind
+  /// to a same-shape circuit must keep both the pointer and capacity.
+  [[nodiscard]] const double* jacobian_data() const { return jac_.data(); }
+  [[nodiscard]] std::size_t jacobian_capacity() const {
+    return jac_.capacity();
+  }
+
+ private:
+  struct ResPlan {
+    int na, nb;
+    int jaa, jbb, jab, jba;
+    int ra, rb;
+    double g;
+  };
+  struct CapPlan {
+    int na, nb;
+    int jaa, jbb, jab, jba;
+    int ra, rb;
+    double c;
+  };
+  struct FetPlan {
+    int ng, nd, ns;
+    int jdg, jdd, jds, jsg, jsd, jss;
+    int rd, rs;
+    const Circuit::Fet* fet;
+  };
+  struct SrcPlan {
+    int npos = 0, nneg = 0;
+    int brow = 0;
+    int jpb = -1, jnb = -1, jbp = -1, jbn = -1;
+    int rp = -1, rn = -1;
+    const Pwl* wave = nullptr;
+  };
+
+  void rebuild_base(double h);
+
+  const TransientOptions* options_ = nullptr;
+  std::vector<ResPlan> ress_;
+  std::vector<CapPlan> caps_;
+  std::vector<FetPlan> fets_;
+  std::vector<SrcPlan> srcs_;
+  std::vector<double> base_;  ///< constant Jacobian part for base_h_
+  std::vector<double> jac_;
+  std::vector<double> rhs_;
+  double base_h_ = -1.0;
+};
+
+}  // namespace cnfet::sim

@@ -30,289 +30,78 @@ double Waveform::cross(double level, bool rising, double after) const {
   return -1.0;
 }
 
-namespace {
-
-/// Dense LU solve with partial pivoting (in place); systems here are tiny.
-void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
-  auto at = [&](int r, int c) -> double& {
-    return a[static_cast<std::size_t>(r) * n + c];
-  };
-  for (int col = 0; col < n; ++col) {
-    int pivot = col;
-    for (int r = col + 1; r < n; ++r) {
-      if (std::fabs(at(r, col)) > std::fabs(at(pivot, col))) pivot = r;
-    }
-    CNFET_REQUIRE_MSG(std::fabs(at(pivot, col)) > 1e-18,
-                      "singular MNA matrix (floating node?)");
-    if (pivot != col) {
-      for (int c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
-      std::swap(b[static_cast<std::size_t>(pivot)],
-                b[static_cast<std::size_t>(col)]);
-    }
-    for (int r = col + 1; r < n; ++r) {
-      const double f = at(r, col) / at(col, col);
-      if (f == 0.0) continue;
-      for (int c = col; c < n; ++c) at(r, c) -= f * at(col, c);
-      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
-    }
-  }
-  for (int r = n - 1; r >= 0; --r) {
-    double sum = b[static_cast<std::size_t>(r)];
-    for (int c = r + 1; c < n; ++c) {
-      sum -= at(r, c) * b[static_cast<std::size_t>(c)];
-    }
-    b[static_cast<std::size_t>(r)] = sum / at(r, r);
-  }
-}
-
-/// MNA Newton core operating off a stamp plan precomputed once per circuit.
-///
-/// The sparsity of the system is fixed, so every element's destination
-/// slots (flat indices into the dense matrix and the RHS) are resolved up
-/// front; the per-iteration work is pure arithmetic over those index lists
-/// — no lambda dispatch and no re-derivation of node positions. The
-/// h-dependent constant part of the Jacobian (resistor conductances,
-/// capacitor c/h stamps, source incidence +-1) lives in `base_` and is
-/// rebuilt only when h changes; each Newton iteration copies it and adds
-/// just the FET small-signal entries.
-class MnaSolver {
- public:
-  MnaSolver(const Circuit& circuit, const TransientOptions& options)
-      : ckt_(circuit), options_(options) {
-    num_nodes = circuit.num_nodes();
-    num_src = static_cast<int>(circuit.sources().size());
-    dim = (num_nodes - 1) + num_src;
-    CNFET_REQUIRE(dim > 0);
-
-    v.assign(static_cast<std::size_t>(num_nodes), 0.0);
-    v_prev = v;
-    branch.assign(static_cast<std::size_t>(num_src), 0.0);
-    jac_.assign(static_cast<std::size_t>(dim) * dim, 0.0);
-    base_ = jac_;
-    rhs_.assign(static_cast<std::size_t>(dim), 0.0);
-
-    // Flat matrix slot for (row node, col node), -1 when either is ground.
-    auto jslot = [&](int nr, int nc) {
-      if (nr <= 0 || nc <= 0) return -1;
-      return (nr - 1) * dim + (nc - 1);
-    };
-    auto rslot = [](int n) { return n > 0 ? n - 1 : -1; };
-
-    for (const auto& r : ckt_.ress()) {
-      ress_.push_back({r.a, r.b, jslot(r.a, r.a), jslot(r.b, r.b),
-                       jslot(r.a, r.b), jslot(r.b, r.a), rslot(r.a),
-                       rslot(r.b), r.g});
-    }
-    for (const auto& c : ckt_.caps()) {
-      caps_.push_back({c.a, c.b, jslot(c.a, c.a), jslot(c.b, c.b),
-                       jslot(c.a, c.b), jslot(c.b, c.a), rslot(c.a),
-                       rslot(c.b), c.c});
-    }
-    for (const auto& f : ckt_.fets()) {
-      fets_.push_back({f.gate, f.drain, f.source, jslot(f.drain, f.gate),
-                       jslot(f.drain, f.drain), jslot(f.drain, f.source),
-                       jslot(f.source, f.gate), jslot(f.source, f.drain),
-                       jslot(f.source, f.source), rslot(f.drain),
-                       rslot(f.source), &f});
-    }
-    for (int s = 0; s < num_src; ++s) {
-      const auto& src = ckt_.sources()[static_cast<std::size_t>(s)];
-      const int brow = (num_nodes - 1) + s;
-      SrcPlan p;
-      p.npos = src.pos;
-      p.nneg = src.neg;
-      p.brow = brow;
-      p.jpb = src.pos > 0 ? (src.pos - 1) * dim + brow : -1;
-      p.jnb = src.neg > 0 ? (src.neg - 1) * dim + brow : -1;
-      p.jbp = src.pos > 0 ? brow * dim + (src.pos - 1) : -1;
-      p.jbn = src.neg > 0 ? brow * dim + (src.neg - 1) : -1;
-      p.rp = rslot(src.pos);
-      p.rn = rslot(src.neg);
-      p.wave = &src.wave;
-      srcs_.push_back(p);
-    }
-  }
-
-  /// One backward-Euler Newton solve for the state at time t with step h,
-  /// starting from (and updating) v/branch; v_prev holds the state at t-h.
-  /// Returns false when Newton fails to converge (caller shrinks h).
-  bool solve(double t, double h) {
-    if (h != base_h_) rebuild_base(h);
-    for (int iter = 0; iter < options_.max_newton; ++iter) {
-      std::copy(base_.begin(), base_.end(), jac_.begin());
-      std::fill(rhs_.begin(), rhs_.end(), 0.0);
-
-      for (const auto& p : ress_) {
-        const double i = p.g * (v[static_cast<std::size_t>(p.na)] -
-                                v[static_cast<std::size_t>(p.nb)]);
-        if (p.ra >= 0) rhs_[static_cast<std::size_t>(p.ra)] -= i;
-        if (p.rb >= 0) rhs_[static_cast<std::size_t>(p.rb)] += i;
-      }
-      const double inv_h = 1.0 / h;
-      for (const auto& p : caps_) {
-        const double dv_now = v[static_cast<std::size_t>(p.na)] -
-                              v[static_cast<std::size_t>(p.nb)];
-        const double dv_old = v_prev[static_cast<std::size_t>(p.na)] -
-                              v_prev[static_cast<std::size_t>(p.nb)];
-        const double i = p.c * inv_h * (dv_now - dv_old);
-        if (p.ra >= 0) rhs_[static_cast<std::size_t>(p.ra)] -= i;
-        if (p.rb >= 0) rhs_[static_cast<std::size_t>(p.rb)] += i;
-      }
-      for (const auto& p : fets_) {
-        const double vg = v[static_cast<std::size_t>(p.ng)];
-        const double vd = v[static_cast<std::size_t>(p.nd)];
-        const double vs = v[static_cast<std::size_t>(p.ns)];
-        // The FD branch is the seed engine's Jacobian, kept for A/B runs.
-        const FetGrad g = options_.analytic_jacobian
-                              ? fet_current_grad(*p.fet, vg, vd, vs)
-                              : fet_current_fd_grad(*p.fet, vg, vd, vs);
-        if (p.rd >= 0) rhs_[static_cast<std::size_t>(p.rd)] -= g.i;
-        if (p.rs >= 0) rhs_[static_cast<std::size_t>(p.rs)] += g.i;
-        if (p.jdg >= 0) jac_[static_cast<std::size_t>(p.jdg)] += g.di_dvg;
-        if (p.jdd >= 0) jac_[static_cast<std::size_t>(p.jdd)] += g.di_dvd;
-        if (p.jds >= 0) jac_[static_cast<std::size_t>(p.jds)] += g.di_dvs;
-        if (p.jsg >= 0) jac_[static_cast<std::size_t>(p.jsg)] -= g.di_dvg;
-        if (p.jsd >= 0) jac_[static_cast<std::size_t>(p.jsd)] -= g.di_dvd;
-        if (p.jss >= 0) jac_[static_cast<std::size_t>(p.jss)] -= g.di_dvs;
-      }
-      for (int s = 0; s < num_src; ++s) {
-        const auto& p = srcs_[static_cast<std::size_t>(s)];
-        const double ib = branch[static_cast<std::size_t>(s)];
-        if (p.rp >= 0) rhs_[static_cast<std::size_t>(p.rp)] -= ib;
-        if (p.rn >= 0) rhs_[static_cast<std::size_t>(p.rn)] += ib;
-        // Branch equation v_pos - v_neg = V(t).
-        rhs_[static_cast<std::size_t>(p.brow)] -=
-            (v[static_cast<std::size_t>(p.npos)] -
-             v[static_cast<std::size_t>(p.nneg)] - p.wave->at(t));
-      }
-
-      solve_dense(jac_, rhs_, dim);
-
-      double worst = 0.0;
-      for (int n = 1; n < num_nodes; ++n) {
-        double dv = rhs_[static_cast<std::size_t>(n - 1)];
-        dv = std::clamp(dv, -0.3, 0.3);  // Newton damping
-        v[static_cast<std::size_t>(n)] += dv;
-        worst = std::max(worst, std::fabs(dv));
-      }
-      for (int s = 0; s < num_src; ++s) {
-        branch[static_cast<std::size_t>(s)] +=
-            rhs_[static_cast<std::size_t>((num_nodes - 1) + s)];
-      }
-      if (worst < options_.vtol) return true;
-    }
-    return false;
-  }
-
-  std::vector<double> v;       ///< node voltages (index = node, 0 = ground)
-  std::vector<double> v_prev;  ///< state at the previous accepted time
-  std::vector<double> branch;  ///< source branch currents (into pos)
-  int num_nodes = 0;
-  int num_src = 0;
-  int dim = 0;
-
- private:
-  struct ResPlan {
-    int na, nb;
-    int jaa, jbb, jab, jba;
-    int ra, rb;
-    double g;
-  };
-  struct CapPlan {
-    int na, nb;
-    int jaa, jbb, jab, jba;
-    int ra, rb;
-    double c;
-  };
-  struct FetPlan {
-    int ng, nd, ns;
-    int jdg, jdd, jds, jsg, jsd, jss;
-    int rd, rs;
-    const Circuit::Fet* fet;
-  };
-  struct SrcPlan {
-    int npos = 0, nneg = 0;
-    int brow = 0;
-    int jpb = -1, jnb = -1, jbp = -1, jbn = -1;
-    int rp = -1, rn = -1;
-    const Pwl* wave = nullptr;
-  };
-
-  void rebuild_base(double h) {
-    std::fill(base_.begin(), base_.end(), 0.0);
-    auto add = [&](int slot, double value) {
-      if (slot >= 0) base_[static_cast<std::size_t>(slot)] += value;
-    };
-    for (const auto& p : ress_) {
-      add(p.jaa, p.g);
-      add(p.jbb, p.g);
-      add(p.jab, -p.g);
-      add(p.jba, -p.g);
-    }
-    for (const auto& p : caps_) {
-      const double g = p.c / h;
-      add(p.jaa, g);
-      add(p.jbb, g);
-      add(p.jab, -g);
-      add(p.jba, -g);
-    }
-    for (const auto& p : srcs_) {
-      add(p.jpb, 1.0);
-      add(p.jnb, -1.0);
-      add(p.jbp, 1.0);
-      add(p.jbn, -1.0);
-    }
-    base_h_ = h;
-  }
-
-  const Circuit& ckt_;
-  const TransientOptions& options_;
-  std::vector<ResPlan> ress_;
-  std::vector<CapPlan> caps_;
-  std::vector<FetPlan> fets_;
-  std::vector<SrcPlan> srcs_;
-  std::vector<double> base_;  ///< constant Jacobian part for base_h_
-  std::vector<double> jac_;
-  std::vector<double> rhs_;
-  double base_h_ = -1.0;
-};
-
-}  // namespace
-
 Transient::Transient(const Circuit& circuit, const TransientOptions& options)
-    : circuit_(circuit), options_(options) {
+    : circuit_(circuit) {
   CNFET_REQUIRE(options.tstep > 0 && options.tstop > options.tstep);
-  run();
+  // No caller-provided scratch: a local one gives run() the same single
+  // code path, with the buffers freed when this constructor returns.
+  SimScratch local;
+  run(options, local);
 }
 
-void Transient::run() {
+Transient::Transient(const Circuit& circuit, const TransientOptions& options,
+                     SimScratch* scratch)
+    : circuit_(circuit), scratch_(scratch) {
+  CNFET_REQUIRE(options.tstep > 0 && options.tstop > options.tstep);
+  if (scratch_ != nullptr) {
+    run(options, *scratch_);
+  } else {
+    SimScratch local;
+    run(options, local);
+  }
+}
+
+Transient::~Transient() {
+  if (scratch_ == nullptr) return;
+  // Return the sample buffers (and the waveform vectors themselves) to
+  // the scratch so the next same-shape run reuses every allocation.
+  auto reclaim = [](std::vector<Waveform>& waves,
+                    std::vector<std::vector<double>>& samples,
+                    std::vector<Waveform>& pool) {
+    for (std::size_t i = 0; i < waves.size() && i < samples.size(); ++i) {
+      samples[i] = waves[i].take_samples();
+    }
+    pool = std::move(waves);
+    pool.clear();
+  };
+  reclaim(node_waves_, scratch_->node_samples_, scratch_->node_waves_pool_);
+  reclaim(source_waves_, scratch_->source_samples_,
+          scratch_->source_waves_pool_);
+}
+
+void Transient::run(const TransientOptions& options, SimScratch& scratch) {
   const int num_nodes = circuit_.num_nodes();
   const int num_src = static_cast<int>(circuit_.sources().size());
-  MnaSolver solver(circuit_, options_);
+  MnaSolver& solver = scratch.solver_;
+  solver.bind(circuit_, options);
 
-  const double tstep = options_.tstep;
-  const auto steps = static_cast<std::size_t>(options_.tstop / tstep) + 1;
+  const double tstep = options.tstep;
+  const auto steps = static_cast<std::size_t>(options.tstop / tstep) + 1;
 
   // Which node waveforms to materialize; sources are always recorded
   // (there are few, and the energy integral needs them).
-  std::vector<char> record(static_cast<std::size_t>(num_nodes), 1);
-  if (!options_.record_nodes.empty()) {
+  std::vector<char>& record = scratch.record_;
+  record.assign(static_cast<std::size_t>(num_nodes), 1);
+  if (!options.record_nodes.empty()) {
     std::fill(record.begin(), record.end(), 0);
-    for (const int n : options_.record_nodes) {
+    for (const int n : options.record_nodes) {
       CNFET_REQUIRE(n >= 0 && n < num_nodes);
       record[static_cast<std::size_t>(n)] = 1;
     }
   }
-  std::vector<std::vector<double>> node_samples(
-      static_cast<std::size_t>(num_nodes));
+  std::vector<std::vector<double>>& node_samples = scratch.node_samples_;
+  node_samples.resize(static_cast<std::size_t>(num_nodes));
   for (int n = 0; n < num_nodes; ++n) {
-    if (record[static_cast<std::size_t>(n)]) {
-      node_samples[static_cast<std::size_t>(n)].reserve(steps);
-    }
+    auto& samples = node_samples[static_cast<std::size_t>(n)];
+    samples.clear();
+    if (record[static_cast<std::size_t>(n)]) samples.reserve(steps);
   }
-  std::vector<std::vector<double>> source_samples(
-      static_cast<std::size_t>(num_src));
-  for (auto& s : source_samples) s.reserve(steps);
+  std::vector<std::vector<double>>& source_samples = scratch.source_samples_;
+  source_samples.resize(static_cast<std::size_t>(num_src));
+  for (auto& s : source_samples) {
+    s.clear();
+    s.reserve(steps);
+  }
 
   auto push_sample = [&](const std::vector<double>& vv,
                          const std::vector<double>& bb) {
@@ -330,12 +119,12 @@ void Transient::run() {
     }
   };
 
-  if (!options_.adaptive) {
+  if (!options.adaptive) {
     // --- fixed-step reference engine (the seed march) --------------------
     // Time step with halving retry: stiff coarse steps (the settle phase)
     // occasionally defeat the damped Newton; sub-stepping always recovers.
-    std::vector<double> v_checkpoint;
-    std::vector<double> b_checkpoint;
+    std::vector<double>& v_checkpoint = scratch.v_save_;
+    std::vector<double>& b_checkpoint = scratch.b_save_;
     auto step_with_retry = [&](double t, double h) {
       v_checkpoint = solver.v;
       b_checkpoint = solver.branch;
@@ -359,13 +148,13 @@ void Transient::run() {
     // strong capacitive coupling keeps Newton well conditioned while the
     // rails come up from zero), then a coarse-step phase so even large loads
     // reach their operating point, then fine again to tighten.
-    for (int k = 0; k < options_.settle_steps; ++k) {
+    for (int k = 0; k < options.settle_steps; ++k) {
       step_with_retry(0.0, tstep);
     }
-    for (int k = 0; k < options_.settle_steps / 2; ++k) {
-      step_with_retry(0.0, options_.settle_tstep);
+    for (int k = 0; k < options.settle_steps / 2; ++k) {
+      step_with_retry(0.0, options.settle_tstep);
     }
-    for (int k = 0; k < options_.settle_steps / 4; ++k) {
+    for (int k = 0; k < options.settle_steps / 4; ++k) {
       step_with_retry(0.0, tstep);
     }
 
@@ -383,10 +172,10 @@ void Transient::run() {
     // settle covered 14ps); like the seed march, a circuit still drifting
     // past the bound proceeds with the best state reached rather than
     // failing the whole measurement.
-    const double settle_hmax = std::max(options_.settle_tstep, tstep);
+    const double settle_hmax = std::max(options.settle_tstep, tstep);
     double h = tstep;
-    std::vector<double> v_save;
-    std::vector<double> b_save;
+    std::vector<double>& v_save = scratch.v_save_;
+    std::vector<double>& b_save = scratch.b_save_;
     int quiet = 0;
     for (int k = 0; k < 4000 && quiet < 2; ++k) {
       v_save = solver.v;
@@ -419,16 +208,17 @@ void Transient::run() {
     // LTE-controlled march. Internal steps move freely between the bounds;
     // output samples land on the uniform tstep grid by linear interpolation
     // between accepted states, so Waveform semantics match the fixed path.
-    const double h_max = options_.max_step > 0 ? options_.max_step
-                                               : 8.0 * tstep;
-    const double h_min = options_.min_step > 0 ? options_.min_step
-                                               : tstep / 4.0;
+    const double h_max = options.max_step > 0 ? options.max_step
+                                              : 8.0 * tstep;
+    const double h_min = options.min_step > 0 ? options.min_step
+                                              : tstep / 4.0;
     const double t_end = static_cast<double>(steps - 1) * tstep;
     const double eps = 1e-6 * tstep;
 
     // Source PWL breakpoints: steps land on them exactly so a coarse h
     // never strides over the start of an input edge.
-    std::vector<double> bps;
+    std::vector<double>& bps = scratch.bps_;
+    bps.clear();
     for (const auto& src : circuit_.sources()) {
       for (const auto& pt : src.wave.points()) {
         if (pt.first > eps && pt.first < t_end - eps) bps.push_back(pt.first);
@@ -437,9 +227,12 @@ void Transient::run() {
     std::sort(bps.begin(), bps.end());
     bps.erase(std::unique(bps.begin(), bps.end()), bps.end());
 
-    std::vector<double> v_state = solver.v;
-    std::vector<double> b_state = solver.branch;
-    std::vector<double> v_dot(static_cast<std::size_t>(num_nodes), 0.0);
+    std::vector<double>& v_state = scratch.v_state_;
+    std::vector<double>& b_state = scratch.b_state_;
+    std::vector<double>& v_dot = scratch.v_dot_;
+    v_state = solver.v;
+    b_state = solver.branch;
+    v_dot.assign(static_cast<std::size_t>(num_nodes), 0.0);
     push_sample(v_state, b_state);
 
     std::size_t k_out = 1;
@@ -473,11 +266,11 @@ void Transient::run() {
                                       (v_state[ni] + h_try * v_dot[ni])));
       }
       err *= 0.5;
-      if (err > options_.ltol && h_try > h_min + eps) {
+      if (err > options.ltol && h_try > h_min + eps) {
         solver.v = v_state;
         solver.v_prev = v_state;
         solver.branch = b_state;
-        h = std::max(h_min, h_try * std::clamp(0.9 * std::sqrt(options_.ltol /
+        h = std::max(h_min, h_try * std::clamp(0.9 * std::sqrt(options.ltol /
                                                                err),
                                                0.25, 0.9));
         continue;
@@ -510,17 +303,24 @@ void Transient::run() {
       solver.v_prev = solver.v;
       t = t_new;
       const double grow =
-          err > 1e-15 ? std::clamp(0.9 * std::sqrt(options_.ltol / err), 0.5,
+          err > 1e-15 ? std::clamp(0.9 * std::sqrt(options.ltol / err), 0.5,
                                    2.0)
                       : 2.0;
       h = h_try * grow;
     }
   }
 
+  // Package the samples into waveforms, reusing the pooled Waveform
+  // vectors (their element buffers were emptied by the previous run's
+  // reclaim, so these moves shuffle pointers only).
+  node_waves_ = std::move(scratch.node_waves_pool_);
+  node_waves_.clear();
   node_waves_.reserve(node_samples.size());
   for (auto& s : node_samples) {
     node_waves_.emplace_back(tstep, std::move(s));
   }
+  source_waves_ = std::move(scratch.source_waves_pool_);
+  source_waves_.clear();
   source_waves_.reserve(source_samples.size());
   for (auto& s : source_samples) {
     source_waves_.emplace_back(tstep, std::move(s));

@@ -2,7 +2,7 @@
 // waveform measurements the experiments need (propagation delay, slew,
 // energy drawn from a supply).
 //
-// Two integration modes share one MNA core:
+// Two integration modes share one MNA core (sim::MnaSolver in mna.hpp):
 //  * adaptive (default): local-truncation-error-controlled internal steps —
 //    the step size grows through quiescent stretches and shrinks around
 //    switching edges, and the DC operating point is found by pseudo-transient
@@ -14,17 +14,18 @@
 //    Newton solve per tstep), kept as the A/B reference the adaptive
 //    engine is validated against (delays within 1%, energies within 2%).
 //
-// The MNA core itself is fast regardless of mode: assembly runs off a
-// stamp plan precomputed once per circuit (per-element row/column index
-// lists into the dense matrix; the h-dependent constant part is rebuilt
-// only when h changes), and FET Jacobian entries come from the device's
-// analytic derivatives (device::IdsGrad) instead of four finite-difference
-// model evaluations per FET per Newton iteration.
+// Hot-loop reuse: a Transient normally owns its buffers (solver
+// workspaces, sample storage), allocated per run. Callers that run many
+// transients over same-shape circuits (characterization arcs) pass a
+// SimScratch: the run borrows every buffer from it and the destructor
+// returns the sample storage, so a steady-state run performs zero heap
+// allocations. Results are identical with or without a scratch.
 #pragma once
 
 #include <vector>
 
 #include "sim/circuit.hpp"
+#include "sim/mna.hpp"
 
 namespace cnfet::sim {
 
@@ -74,13 +75,57 @@ class Waveform {
   [[nodiscard]] double time(std::size_t k) const { return tstep_ * k; }
   [[nodiscard]] double operator[](std::size_t k) const { return samples_[k]; }
 
+  /// Storage capacity probe for the reuse regression tests.
+  [[nodiscard]] std::size_t capacity() const { return samples_.capacity(); }
+  [[nodiscard]] const double* data() const { return samples_.data(); }
+
   /// First time (linear-interpolated) the waveform crosses `level` in the
   /// given direction at or after `after`; negative when it never does.
   [[nodiscard]] double cross(double level, bool rising, double after = 0) const;
 
  private:
+  friend class Transient;  ///< sample-buffer recycling through SimScratch
+
+  /// Moves the sample storage out (leaving the waveform empty) so a
+  /// SimScratch can hand the same heap buffer to the next run.
+  std::vector<double> take_samples() {
+    tstep_ = 0.0;
+    return std::move(samples_);
+  }
+
   double tstep_ = 0;
   std::vector<double> samples_;
+};
+
+/// Reusable buffers for Transient runs: one per worker (see
+/// util::worker_scratch), never shared across threads. Every vector in
+/// here is refilled capacity-preservingly by the next run over a
+/// same-shape circuit, which is what makes a warm characterization arc
+/// allocation-free. The solver is exposed for the workspace-stability
+/// regression tests.
+class SimScratch {
+ public:
+  SimScratch() = default;
+  SimScratch(const SimScratch&) = delete;
+  SimScratch& operator=(const SimScratch&) = delete;
+
+  [[nodiscard]] MnaSolver& solver() { return solver_; }
+
+ private:
+  friend class Transient;
+
+  MnaSolver solver_;
+  std::vector<char> record_;
+  std::vector<std::vector<double>> node_samples_;
+  std::vector<std::vector<double>> source_samples_;
+  std::vector<double> v_state_;
+  std::vector<double> b_state_;
+  std::vector<double> v_dot_;
+  std::vector<double> v_save_;
+  std::vector<double> b_save_;
+  std::vector<double> bps_;
+  std::vector<Waveform> node_waves_pool_;
+  std::vector<Waveform> source_waves_pool_;
 };
 
 /// Runs the transient and exposes per-node waveforms and per-source
@@ -88,6 +133,15 @@ class Waveform {
 class Transient {
  public:
   Transient(const Circuit& circuit, const TransientOptions& options = {});
+  /// Scratch-backed run: borrows every working buffer from `scratch`
+  /// (which must outlive this object and not be shared concurrently);
+  /// the destructor returns the sample storage for the next run.
+  Transient(const Circuit& circuit, const TransientOptions& options,
+            SimScratch* scratch);
+  ~Transient();
+
+  Transient(const Transient&) = delete;
+  Transient& operator=(const Transient&) = delete;
 
   /// Waveform of a recorded node (any node when record_nodes was empty).
   [[nodiscard]] const Waveform& v(int node) const;
@@ -100,11 +154,11 @@ class Transient {
 
  private:
   const Circuit& circuit_;
-  TransientOptions options_;
+  SimScratch* scratch_ = nullptr;  ///< non-null: return buffers on destruction
   std::vector<Waveform> node_waves_;
   std::vector<Waveform> source_waves_;
 
-  void run();
+  void run(const TransientOptions& options, SimScratch& scratch);
 };
 
 /// 50%-crossing propagation delay from input edge to output edge.

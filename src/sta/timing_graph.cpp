@@ -373,20 +373,25 @@ int TimingGraph::critical_output() {
 }
 
 std::vector<int> TimingGraph::critical_gates() {
-  retime();
   std::vector<int> path;
-  if (critical_output_ < 0) return path;
+  critical_gates(path);
+  return path;
+}
+
+void TimingGraph::critical_gates(std::vector<int>& out) {
+  retime();
+  out.clear();
+  if (critical_output_ < 0) return;
   int g = netlist_->driver_index(critical_output_);
   while (g >= 0) {
-    path.push_back(g);
+    out.push_back(g);
     const Gate& gate = netlist_->gates()[static_cast<std::size_t>(g)];
     const int crit = crit_pin_[static_cast<std::size_t>(g)];
     g = crit < 0 ? -1
                  : netlist_->driver_index(
                        gate.inputs[static_cast<std::size_t>(crit)]);
   }
-  std::reverse(path.begin(), path.end());
-  return path;
+  std::reverse(out.begin(), out.end());
 }
 
 double TimingGraph::energy_per_cycle() {

@@ -84,6 +84,10 @@ class TimingGraph {
   [[nodiscard]] int critical_output();
   /// Gate indices along the critical path, input side first.
   [[nodiscard]] std::vector<int> critical_gates();
+  /// Same, into a caller-owned buffer (cleared first) — the sizing loop
+  /// calls this once per round, so reusing its buffer keeps the round's
+  /// steady state off the heap.
+  void critical_gates(std::vector<int>& out);
   /// Energy with every gate switching once per cycle, each gate evaluated
   /// at its *critical* input's slew (summed in gate-index order).
   [[nodiscard]] double energy_per_cycle();

@@ -1,0 +1,55 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace cnfet::util {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  CNFET_REQUIRE(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+
+  // Walk forward through existing blocks (kept across reset()) looking
+  // for one with room; steady state takes the first branch immediately.
+  while (current_ < blocks_.size()) {
+    Block& block = blocks_[current_];
+    const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+    const std::size_t aligned =
+        ((base + offset_ + align - 1) & ~(std::uintptr_t{align} - 1)) - base;
+    if (aligned + bytes <= block.size) {
+      offset_ = aligned + bytes;
+      return block.data.get() + aligned;
+    }
+    ++current_;
+    offset_ = 0;
+  }
+
+  // Grow: a fresh block sized for the request (arena granularity for
+  // small ones, exact for oversized ones). `align` is covered because
+  // new char[] storage is max_align_t-aligned and larger alignments pad
+  // via the loop above on the next pass.
+  const std::size_t want = std::max(block_bytes_, bytes + align);
+  Block block;
+  block.data = std::make_unique<char[]>(want);
+  block.size = want;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+
+  Block& fresh = blocks_[current_];
+  const auto base = reinterpret_cast<std::uintptr_t>(fresh.data.get());
+  const std::size_t aligned =
+      ((base + align - 1) & ~(std::uintptr_t{align} - 1)) - base;
+  offset_ = aligned + bytes;
+  return fresh.data.get() + aligned;
+}
+
+std::size_t Arena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const auto& block : blocks_) total += block.size;
+  return total;
+}
+
+}  // namespace cnfet::util

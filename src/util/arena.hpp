@@ -1,0 +1,107 @@
+// Monotonic arena with bulk release, after the valhalla
+// thor/edgestatus_pmr.h pattern: allocation is a pointer bump into
+// chained blocks, deallocation is a no-op, and reset() rewinds the whole
+// arena in O(1) while KEEPING the blocks — so a hot loop (one Monte
+// Carlo trial, one characterization arc) that allocates scratch through
+// the arena performs zero heap allocations once the first iteration has
+// grown the blocks to steady-state size.
+//
+// Ownership rules (see docs/architecture.md "Memory model & scaling"):
+//  * the arena outlives every container allocated from it — reset() or
+//    destruction invalidates all outstanding allocations at once;
+//  * arena-backed containers must be destroyed or cleared BEFORE
+//    reset(); the idiom is a per-iteration container scoped inside the
+//    loop body, with reset() at the top of each iteration;
+//  * one arena per worker (thread_local via util::worker_scratch), never
+//    shared across threads — there is no internal locking.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace cnfet::util {
+
+class Arena {
+ public:
+  /// block_bytes is the granularity of growth; requests larger than it
+  /// get a dedicated block of their own size.
+  explicit Arena(std::size_t block_bytes = 64 * 1024)
+      : block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). Never
+  /// returns null; grows by whole blocks when the current one is full.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Bulk release: every outstanding allocation is invalidated and the
+  /// blocks are kept for reuse. O(1), no heap traffic.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  /// Frees the blocks themselves (reset() never does).
+  void release() {
+    blocks_.clear();
+    blocks_.shrink_to_fit();
+    reset();
+  }
+
+  /// Total bytes held in blocks (capacity, not live allocations).
+  [[nodiscard]] std::size_t bytes_reserved() const;
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< index of the block being bumped
+  std::size_t offset_ = 0;   ///< bump offset within blocks_[current_]
+  std::size_t block_bytes_;
+};
+
+/// std-allocator adapter over an Arena: deallocate is a no-op, release
+/// is the arena's reset(). Containers using it must not outlive the
+/// arena or survive a reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// A vector whose storage comes from an Arena (and is reclaimed en masse
+/// by Arena::reset(), never element-by-element).
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace cnfet::util

@@ -1,0 +1,115 @@
+#include "util/heap_count.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace cnfet::util {
+
+namespace detail {
+thread_local std::uint64_t tl_heap_allocs = 0;
+}  // namespace detail
+
+bool heap_counting_enabled() {
+#ifdef CNFET_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t heap_allocs_this_thread() { return detail::tl_heap_allocs; }
+
+}  // namespace cnfet::util
+
+#ifdef CNFET_COUNT_ALLOCS
+
+namespace {
+
+// One increment per operator-new entry point; new[] forwards here too so
+// an array allocation counts once. malloc(0) may return null on some
+// platforms, so size 0 is bumped to 1 to satisfy the unique-pointer rule.
+void* counted_alloc(std::size_t size) noexcept {
+  ++cnfet::util::detail::tl_heap_allocs;
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  ++cnfet::util::detail::tl_heap_allocs;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (::posix_memalign(&p, align, size != 0 ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+// posix_memalign memory is freed with free(), so every delete forwards
+// to free regardless of alignment or size hints.
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // CNFET_COUNT_ALLOCS

@@ -1,0 +1,32 @@
+// Per-thread heap-allocation counter backing the zero-steady-state-
+// allocation contract: when CNFET_COUNT_ALLOCS is defined (the default
+// build; CMake turns it off under sanitizers, whose runtimes provide
+// their own operator new), the global operator new/new[] overloads are
+// replaced with counting forwarders to malloc. Tests and bench_perf
+// bracket a warm characterization arc with heap_allocs_this_thread()
+// and assert the delta is zero.
+//
+// The counter is thread-local: concurrent workers never contend, and a
+// bracket measures exactly the calling thread's allocations.
+#pragma once
+
+#include <cstdint>
+
+namespace cnfet::util {
+
+/// True when this binary was built with the counting operator new
+/// (CNFET_COUNT_ALLOCS). When false, heap_allocs_this_thread() stays 0
+/// and zero-allocation assertions should be skipped, not failed.
+[[nodiscard]] bool heap_counting_enabled();
+
+/// Number of operator new/new[] calls made by the calling thread since
+/// it started. Deltas across a code region count that region's heap
+/// allocations; 0 deltas are the steady-state contract.
+[[nodiscard]] std::uint64_t heap_allocs_this_thread();
+
+namespace detail {
+// Defined in heap_count.cpp; incremented by the replaced operator new.
+extern thread_local std::uint64_t tl_heap_allocs;
+}  // namespace detail
+
+}  // namespace cnfet::util

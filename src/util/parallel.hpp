@@ -1,5 +1,5 @@
 // Small concurrency layer for the kit's embarrassingly parallel loops
-// (batch compilation, Monte Carlo sharding, benches).
+// (batch compilation, Monte Carlo sharding, characterization, benches).
 //
 // Design rules, in keeping with the api:: error contract:
 //  * deterministic results — parallel_for/parallel_map assign work by
@@ -10,7 +10,13 @@
 //    failure with the lowest index, so even the reported error is
 //    schedule-independent);
 //  * fixed-size pool — ThreadPool never grows, and its destructor drains
-//    the queue and joins every worker, so scopes own their parallelism.
+//    the queue and joins every worker, so scopes own their parallelism;
+//  * no per-call thread spawn — parallel_for borrows helpers from one
+//    process-wide shared_pool() and the CALLING thread participates as a
+//    worker, so a call makes progress even when every helper is busy
+//    (which also makes nested parallel_for deadlock-free: a waiting
+//    caller has already run every item it could claim, and the items it
+//    waits on are executing on live threads, never stranded in a queue).
 #pragma once
 
 #include <condition_variable>
@@ -60,6 +66,14 @@ class ThreadPool {
   /// structured error instead of tripping a contract check.
   [[nodiscard]] bool try_submit(std::function<void()> task);
 
+  /// Enqueues a whole batch under ONE lock acquisition with ONE wake-up
+  /// (notify_all for multi-task batches, notify_one for singletons), or
+  /// rejects the whole batch if the pool is draining — all-or-nothing,
+  /// so no task is silently lost. This is the submit path parallel_for
+  /// uses: per-task submit on an N-task fan-out costs N lock round-trips
+  /// and N cv signals; one batch costs one of each.
+  [[nodiscard]] bool try_submit_batch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until the queue is empty and every in-flight task finished.
   void wait_idle();
 
@@ -92,6 +106,27 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// The process-wide helper pool parallel_for borrows workers from,
+/// created on first use with hardware_threads() - 1 workers (minimum 1):
+/// the calling thread is always the Nth worker, so a machine's cores are
+/// covered without oversubscription, and no parallel_for call ever pays
+/// a thread spawn. Function-local static: destroyed (drained + joined)
+/// at process exit, after main returns.
+[[nodiscard]] ThreadPool& shared_pool();
+
+/// Per-worker persistent scratch slot: one default-constructed T per OS
+/// thread, reused across parallel_for items and across calls. This is
+/// how hot loops keep warm buffers (solver workspaces, netlist clones,
+/// arenas) without sharing: each worker mutates only its own T, and
+/// because results are keyed by item index — never by which worker ran
+/// the item — determinism is preserved. The slot lives until the thread
+/// exits (helpers: shared_pool() shutdown; callers: thread end).
+template <typename T>
+[[nodiscard]] T& worker_scratch() {
+  thread_local T scratch;
+  return scratch;
+}
+
 /// Success value of parallel_for (Result<T> needs a T even when the
 /// product is side effects).
 struct ParallelDone {
@@ -99,14 +134,20 @@ struct ParallelDone {
 };
 
 /// Runs fn(0) .. fn(n-1), sharding indices across up to `num_threads`
-/// workers (0 = hardware threads; <=1 or n<=1 runs inline). Exceptions
+/// workers (0 = hardware threads; <=1 or n<=1 runs inline). Workers claim
+/// `grain` consecutive indices at a time — coarsen it (16-64) when fn is
+/// cheap so claims don't contend on the shared counter. Exceptions
 /// thrown by fn are captured at the task boundary; every task still gets
 /// scheduled, and the failure with the LOWEST index is returned so the
 /// outcome does not depend on thread timing. fn must be safe to call
 /// concurrently for distinct indices.
+///
+/// Threading: helper tasks are batch-submitted to shared_pool() and the
+/// calling thread participates, so the call never blocks on helper
+/// availability and spawns no threads.
 [[nodiscard]] Result<ParallelDone> parallel_for(
     std::int64_t n, const std::function<void(std::int64_t)>& fn,
-    int num_threads = 0);
+    int num_threads = 0, std::int64_t grain = 1);
 
 /// parallel_for that collects fn(i) into a vector with result i at slot i
 /// (deterministic ordering regardless of schedule).

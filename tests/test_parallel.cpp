@@ -9,8 +9,13 @@
 #include <gtest/gtest.h>
 
 #include "api/batch.hpp"
+#include "api/library_cache.hpp"
 #include "cnt/analyzer.hpp"
+#include "gen/gen.hpp"
 #include "layout/cells.hpp"
+#include "liberty/library.hpp"
+#include "opt/opt.hpp"
+#include "sta/timing_graph.hpp"
 #include "util/parallel.hpp"
 
 namespace cnfet {
@@ -61,6 +66,93 @@ TEST(ThreadPool, DrainFinishesQueuedWorkAndRejectsNew) {
   EXPECT_FALSE(pool.try_submit([&] { ++ran; }));
   EXPECT_EQ(ran.load(), 24);
   pool.drain();  // idempotent
+}
+
+TEST(ThreadPool, BatchSubmitRunsEveryTaskExactlyOnce) {
+  std::atomic<int> ran{0};
+  util::ThreadPool pool(3);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.emplace_back([&] { ++ran; });
+  }
+  EXPECT_TRUE(pool.try_submit_batch(std::move(tasks)));
+  EXPECT_TRUE(pool.try_submit_batch({}));  // empty batch is a no-op success
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, NoTaskLostAcrossDrainWithBatches) {
+  // The lifecycle contract batched submission must keep: everything
+  // accepted before drain() runs to completion; a batch racing or
+  // following drain() is rejected whole (all-or-nothing), never
+  // partially enqueued — so accepted + rejected always accounts for
+  // every task.
+  std::atomic<int> ran{0};
+  util::ThreadPool pool(2);
+  int accepted = 0;
+  for (int b = 0; b < 8; ++b) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.emplace_back([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      });
+    }
+    if (pool.try_submit_batch(std::move(tasks))) accepted += 16;
+  }
+  pool.drain();
+  EXPECT_EQ(ran.load(), accepted);
+  EXPECT_EQ(accepted, 128);
+  // Post-drain batches are rejected and run nothing.
+  std::vector<std::function<void()>> late;
+  late.emplace_back([&] { ++ran; });
+  late.emplace_back([&] { ++ran; });
+  EXPECT_FALSE(pool.try_submit_batch(std::move(late)));
+  EXPECT_EQ(ran.load(), accepted);
+}
+
+TEST(SharedPool, IsOneProcessWidePoolAndSurvivesUse) {
+  util::ThreadPool& a = util::shared_pool();
+  util::ThreadPool& b = util::shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1);
+  // parallel_for rides the shared pool and must leave it reusable.
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> sum{0};
+    auto done = util::parallel_for(
+        100, [&](std::int64_t i) { sum += static_cast<int>(i); }, 4);
+    ASSERT_TRUE(done.ok());
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(WorkerScratch, IsStablePerThreadAcrossCalls) {
+  struct Scratch {
+    std::vector<int> data;
+  };
+  // Within one worker (here: the calling thread via the serial path), the
+  // scratch object and its grown capacity persist across parallel_for
+  // calls — the property the characterization grid's zero-allocation
+  // steady state is built on.
+  void* first = nullptr;
+  std::size_t capacity = 0;
+  for (int round = 0; round < 3; ++round) {
+    auto done = util::parallel_for(
+        1,
+        [&](std::int64_t) {
+          auto& scratch = util::worker_scratch<Scratch>();
+          if (scratch.data.capacity() < 1024) scratch.data.reserve(1024);
+          if (first == nullptr) {
+            first = &scratch;
+            capacity = scratch.data.capacity();
+          } else {
+            EXPECT_EQ(first, &scratch);
+            EXPECT_EQ(capacity, scratch.data.capacity());
+          }
+        },
+        1);
+    ASSERT_TRUE(done.ok());
+  }
 }
 
 TEST(ThreadPool, DestructorJoinsWithoutLosingWork) {
@@ -189,6 +281,101 @@ TEST(RunBatchParallel, ReportByteStableVsSerial) {
   }
   EXPECT_EQ(threaded.to_string(), serial.to_string());
   EXPECT_EQ(threaded.merged_diagnostics().to_string(),
+            serial.merged_diagnostics().to_string());
+}
+
+TEST(CharacterizationParallel, TablesBitIdenticalAcrossThreadCounts) {
+  // The slew-row-sharded grid with per-worker scratches must produce the
+  // same bits as the serial sweep: results are keyed by grid index and
+  // every scratch-backed transient rebuilds the identical MNA system.
+  liberty::CharacterizeOptions options;
+  options.num_threads = 1;
+  const auto spec = layout::find_cell_spec("NAND2");
+  const auto serial = liberty::characterize_cell(spec, 1.0, options);
+  for (const int threads : {2, 8}) {
+    options.num_threads = threads;
+    const auto parallel = liberty::characterize_cell(spec, 1.0, options);
+    ASSERT_EQ(parallel.arcs.size(), serial.arcs.size()) << threads;
+    for (std::size_t a = 0; a < serial.arcs.size(); ++a) {
+      const auto& slews = serial.arcs[a].delay.slews();
+      const auto& loads = serial.arcs[a].delay.loads();
+      for (std::size_t si = 0; si < slews.size(); ++si) {
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+          EXPECT_EQ(parallel.arcs[a].delay.at(si, li),
+                    serial.arcs[a].delay.at(si, li))
+              << threads << " threads, arc " << a;
+          EXPECT_EQ(parallel.arcs[a].out_slew.at(si, li),
+                    serial.arcs[a].out_slew.at(si, li))
+              << threads << " threads, arc " << a;
+          EXPECT_EQ(parallel.arcs[a].energy.at(si, li),
+                    serial.arcs[a].energy.at(si, li))
+              << threads << " threads, arc " << a;
+        }
+      }
+    }
+  }
+}
+
+TEST(OptSizingParallel, ResultBitIdenticalAcrossThreadCounts) {
+  // The sharded candidate sweep must pick the same winners as the serial
+  // in-place sweep: ties break by (arrival, enumeration index) in both.
+  const auto library =
+      api::LibraryCache::global().get(layout::Tech::kCnfet65).value();
+  gen::GenOptions gen_options;
+  gen_options.family = gen::Family::kRandomDag;
+  gen_options.target_gates = 300;
+  gen_options.num_inputs = 16;
+  gen_options.seed = 7;
+  const auto design = gen::generate(*library, gen_options);
+
+  auto run = [&](int threads) {
+    auto netlist = design.netlist;
+    sta::TimingGraph graph(netlist);
+    opt::OptOptions options;
+    options.num_threads = threads;
+    options.max_sizing_rounds = 8;
+    opt::PassStats stats;
+    opt::size_gates(netlist, graph, *library, options,
+                    opt::total_area(netlist) * 1.25, &stats);
+    std::string cells;
+    for (const auto& gate : netlist.gates()) {
+      cells += gate.cell->name;
+      cells += ",";
+    }
+    return std::make_tuple(cells, graph.worst_arrival(),
+                           stats.gates_resized);
+  };
+  const auto serial = run(1);
+  EXPECT_GT(std::get<2>(serial), 0);  // the sweep actually resized gates
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(run(threads), serial) << threads << " threads";
+  }
+}
+
+TEST(MonteCarloParallel, BitIdenticalAtEightThreads) {
+  // 8 > hardware on small CI boxes: oversubscription still shards by
+  // trial index, so the tallies cannot depend on the worker layout.
+  const auto built = layout::build_cell(layout::find_cell_spec("NAND3"));
+  auto run = [&](int num_threads) {
+    return cnt::monte_carlo(built.layout, built.netlist, built.function,
+                            cnt::TubeModel{}, 400, 42, num_threads);
+  };
+  const auto serial = run(1);
+  const auto wide = run(8);
+  EXPECT_EQ(wide.failing_trials, serial.failing_trials);
+  EXPECT_EQ(wide.tubes_sampled, serial.tubes_sampled);
+  EXPECT_EQ(wide.stray_shorts, serial.stray_shorts);
+  EXPECT_EQ(wide.stray_chains, serial.stray_chains);
+}
+
+TEST(RunBatchParallel, ReportByteStableAtEightThreads) {
+  const auto jobs = api::family_jobs({layout::Tech::kCnfet65});
+  const auto serial = api::run_batch(jobs, api::BatchOptions{});
+  api::BatchOptions wide_options;
+  wide_options.num_threads = 8;
+  const auto wide = api::run_batch(jobs, wide_options);
+  EXPECT_EQ(wide.to_string(), serial.to_string());
+  EXPECT_EQ(wide.merged_diagnostics().to_string(),
             serial.merged_diagnostics().to_string());
 }
 

@@ -14,6 +14,7 @@
 #include "liberty/library.hpp"
 #include "sim/transient.hpp"
 #include "util/error.hpp"
+#include "util/heap_count.hpp"
 
 namespace cnfet::sim {
 namespace {
@@ -243,6 +244,70 @@ TEST(FastEngine, RecordNodesRestrictsWaveforms) {
   EXPECT_GT(tran.source_current(0).size(), 0u);  // sources always recorded
 }
 
+TEST(SimScratch, WaveformBuffersRoundTripThroughThePool) {
+  // A scratch-backed Transient moves its sample buffers out of the
+  // scratch pool and its destructor moves them back, so a second run
+  // reuses the SAME allocations: same data pointer, same capacity.
+  Circuit ckt;
+  const int a = ckt.add_node("a");
+  const int b = ckt.add_node("b");
+  (void)ckt.add_vsource(a, Circuit::kGround,
+                        Pwl::pulse(0.0, 1.0, 10e-12, 1e-12, 400e-12, 1e-12));
+  ckt.add_resistor(a, b, 1e3);
+  ckt.add_capacitor(b, Circuit::kGround, 10e-15);
+  TransientOptions options;
+  options.tstep = 0.1e-12;
+  options.tstop = 50e-12;
+
+  SimScratch scratch;
+  const double* wave_data = nullptr;
+  std::size_t wave_capacity = 0;
+  std::vector<double> first_samples;
+  for (int run = 0; run < 3; ++run) {
+    const Transient tran(ckt, options, &scratch);
+    const Waveform& w = tran.v(b);
+    ASSERT_GT(w.size(), 0u);
+    if (run == 0) {
+      wave_data = w.data();
+      wave_capacity = w.capacity();
+      first_samples.assign(w.data(), w.data() + w.size());
+    } else {
+      EXPECT_EQ(w.data(), wave_data) << "run " << run;
+      EXPECT_EQ(w.capacity(), wave_capacity) << "run " << run;
+      ASSERT_EQ(w.size(), first_samples.size()) << "run " << run;
+      for (std::size_t i = 0; i < first_samples.size(); ++i) {
+        ASSERT_EQ(w.data()[i], first_samples[i]) << "run " << run;
+      }
+    }
+  }  // each destructor reclaims the buffers into `scratch`
+}
+
+TEST(SimScratch, ScratchBackedRunMatchesPlainRunBitwise) {
+  Circuit ckt;
+  const int vdd = ckt.add_node("vdd");
+  const int in = ckt.add_node("in");
+  const int out = ckt.add_node("out");
+  const int src = ckt.add_vsource(vdd, Circuit::kGround, Pwl(1.0));
+  (void)ckt.add_vsource(
+      in, Circuit::kGround,
+      Pwl::pulse(0.0, 1.0, 50e-12, 10e-12, 250e-12, 10e-12));
+  ckt.add_inverter(device::cmos_inverter(), in, out, vdd);
+  ckt.add_capacitor(out, Circuit::kGround, 2e-15);
+  const auto options = fast_engine();
+
+  const Transient plain(ckt, options);
+  SimScratch scratch;
+  for (int run = 0; run < 2; ++run) {
+    const Transient reused(ckt, options, &scratch);
+    ASSERT_EQ(reused.v(out).size(), plain.v(out).size());
+    for (std::size_t i = 0; i < plain.v(out).size(); ++i) {
+      ASSERT_EQ(reused.v(out).data()[i], plain.v(out).data()[i]);
+    }
+    EXPECT_EQ(reused.source_energy(src, 0, 400e-12),
+              plain.source_energy(src, 0, 400e-12));
+  }
+}
+
 TEST(FastEngine, WaveformCrossHonoursAfterWithLateStart) {
   // Zig-zag: crossings of 0.5 rising at t = 0.5 and t = 2.5.
   const Waveform w(1.0, {0.0, 1.0, 0.0, 1.0});
@@ -318,6 +383,106 @@ TEST(FastEngine, ParallelCharacterizationBitStable) {
       }
     }
   }
+}
+
+TEST(ArcScratch, ScratchBackedMeasureArcBitIdenticalToUnbound) {
+  // The reuse path rebuilds the same MNA system element-for-element, so
+  // every grid point must agree with the historical build-per-call path
+  // to the last ulp.
+  const auto built = layout::build_cell(layout::find_cell_spec("NAND2"));
+  const auto options = engine_options(true, 1);
+  ArcScratch scratch;
+  scratch.bind(built.netlist, options);
+  for (const bool rising : {true, false}) {
+    for (const double slew : {5e-12, 20e-12, 60e-12}) {
+      for (const double load : {0.5e-15, 6e-15, 14e-15}) {
+        const auto unbound =
+            measure_arc(built.netlist, 0, 0b10, rising, slew, load, options);
+        const auto reused = measure_arc(built.netlist, 0, 0b10, rising, slew,
+                                        load, options, &scratch);
+        EXPECT_EQ(reused.delay, unbound.delay)
+            << "slew " << slew << " load " << load;
+        EXPECT_EQ(reused.out_slew, unbound.out_slew)
+            << "slew " << slew << " load " << load;
+        EXPECT_EQ(reused.energy, unbound.energy)
+            << "slew " << slew << " load " << load;
+      }
+    }
+  }
+}
+
+TEST(ArcScratch, WorkspacePointersAndCapacitiesStableAcrossArcs) {
+  // After one warm-up arc, further arcs must reuse the same Jacobian
+  // storage — no reallocation, no capacity growth. This is the
+  // regression test for the zero-steady-state-allocation contract's
+  // mechanism (the contract itself is asserted by the allocation-counter
+  // test below and the bench).
+  const auto built = layout::build_cell(layout::find_cell_spec("NAND2"));
+  const auto options = engine_options(true, 1);
+  ArcScratch scratch;
+  scratch.bind(built.netlist, options);
+  (void)measure_arc(built.netlist, 0, 0b10, true, 20e-12, 6e-15, options,
+                    &scratch);
+  const double* jac = scratch.sim().solver().jacobian_data();
+  const std::size_t jac_capacity = scratch.sim().solver().jacobian_capacity();
+  ASSERT_NE(jac, nullptr);
+  for (const bool rising : {true, false}) {
+    for (const double slew : {5e-12, 60e-12}) {
+      for (const double load : {0.5e-15, 14e-15}) {
+        (void)measure_arc(built.netlist, 0, 0b10, rising, slew, load, options,
+                          &scratch);
+        EXPECT_EQ(scratch.sim().solver().jacobian_data(), jac);
+        EXPECT_EQ(scratch.sim().solver().jacobian_capacity(), jac_capacity);
+      }
+    }
+  }
+}
+
+TEST(ArcScratch, WarmArcPerformsZeroHeapAllocations) {
+  if (!util::heap_counting_enabled()) {
+    GTEST_SKIP() << "built without CNFET_COUNT_ALLOCS (sanitizer build)";
+  }
+  const auto built = layout::build_cell(layout::find_cell_spec("NAND2"));
+  const auto options = engine_options(true, 1);
+  ArcScratch scratch;
+  scratch.bind(built.netlist, options);
+  // Warm-up: grows every buffer to steady-state capacity.
+  (void)measure_arc(built.netlist, 0, 0b10, true, 20e-12, 6e-15, options,
+                    &scratch);
+  for (const bool rising : {true, false}) {
+    for (const double load : {0.5e-15, 6e-15, 14e-15}) {
+      const std::uint64_t before = util::heap_allocs_this_thread();
+      (void)measure_arc(built.netlist, 0, 0b10, rising, 20e-12, load, options,
+                        &scratch);
+      const std::uint64_t after = util::heap_allocs_this_thread();
+      EXPECT_EQ(after - before, 0u)
+          << "rising " << rising << " load " << load;
+    }
+  }
+}
+
+TEST(ArcScratch, EpochShortCircuitsRebindOnSameCell) {
+  const auto built = layout::build_cell(layout::find_cell_spec("NAND2"));
+  const auto options = engine_options(true, 1);
+  ArcScratch scratch;
+  scratch.bind(built.netlist, options, /*epoch=*/7);
+  const auto first =
+      measure_arc(built.netlist, 0, 0b10, true, 20e-12, 6e-15, options,
+                  &scratch);
+  if (util::heap_counting_enabled()) {
+    // A matching epoch must be a no-op bind: zero allocations.
+    const std::uint64_t before = util::heap_allocs_this_thread();
+    scratch.bind(built.netlist, options, /*epoch=*/7);
+    EXPECT_EQ(util::heap_allocs_this_thread() - before, 0u);
+  } else {
+    scratch.bind(built.netlist, options, /*epoch=*/7);
+  }
+  const auto again =
+      measure_arc(built.netlist, 0, 0b10, true, 20e-12, 6e-15, options,
+                  &scratch);
+  EXPECT_EQ(again.delay, first.delay);
+  EXPECT_EQ(again.out_slew, first.out_slew);
+  EXPECT_EQ(again.energy, first.energy);
 }
 
 }  // namespace

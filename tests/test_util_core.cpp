@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/design_kit.hpp"
+#include "util/arena.hpp"
+#include "util/heap_count.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -108,6 +110,69 @@ TEST(DesignKit, CmosKitUsesWideRules) {
   const core::DesignKit cmos(layout::Tech::kCmos65);
   const auto inv = cmos.cell("INV");
   EXPECT_DOUBLE_EQ(inv.layout.core_height_lambda(), 19.6);
+}
+
+TEST(Arena, BumpAllocatesAlignedAndGrows) {
+  util::Arena arena(128);  // small blocks force growth
+  void* p1 = arena.allocate(8, 8);
+  void* p2 = arena.allocate(16, 16);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p2) % 16, 0u);
+  // A request larger than the block size gets a dedicated block.
+  void* big = arena.allocate(1024, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 1024u + 128u);
+  EXPECT_GE(arena.block_count(), 2u);
+}
+
+TEST(Arena, ResetKeepsBlocksAndReusesThem) {
+  util::Arena arena(256);
+  void* first = arena.allocate(64, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t blocks = arena.block_count();
+  arena.reset();
+  // Same request after reset lands on the same storage: the blocks were
+  // kept, not freed.
+  void* again = arena.allocate(64, 8);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.block_count(), blocks);
+  arena.release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+}
+
+TEST(Arena, SteadyStateLoopIsHeapFree) {
+  if (!util::heap_counting_enabled()) {
+    GTEST_SKIP() << "built without CNFET_COUNT_ALLOCS (sanitizer build)";
+  }
+  util::Arena arena;
+  // Warm-up iteration grows the blocks to steady-state size.
+  auto iteration = [&] {
+    arena.reset();
+    util::ArenaVector<int> v{util::ArenaAllocator<int>(arena)};
+    for (int i = 0; i < 500; ++i) v.push_back(i);
+    return v.back();
+  };
+  (void)iteration();
+  const std::uint64_t before = util::heap_allocs_this_thread();
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(iteration(), 499);
+  }
+  EXPECT_EQ(util::heap_allocs_this_thread() - before, 0u);
+}
+
+TEST(ArenaVector, AllocatorEqualityIsByArena) {
+  util::Arena a;
+  util::Arena b;
+  const util::ArenaAllocator<int> aa(a);
+  const util::ArenaAllocator<double> ad(a);
+  const util::ArenaAllocator<int> ba(b);
+  EXPECT_TRUE(aa == ad);
+  EXPECT_TRUE(aa != ba);
 }
 
 }  // namespace
