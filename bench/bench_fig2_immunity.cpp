@@ -5,6 +5,10 @@
 // etched technique [6] and the compact Euler technique restore 100%
 // immunity. Both the exact (straight-tube proof) engine and Monte Carlo
 // with misaligned, bent tubes report.
+//
+// Monte Carlo runs 100k trials per case (up from 2k before the indexed
+// tracer): the naive-layout yield estimates carry ~10x tighter
+// confidence intervals, at a few seconds for the whole table.
 #include <cstdio>
 
 #include "core/design_kit.hpp"
@@ -19,7 +23,8 @@ int main() {
   const DesignKit kit;
 
   util::TextTable t({"Cell", "layout", "exact proof", "hard shorts",
-                     "MC yield (2k trials)", "stray shorts", "stray chains"});
+                     "MC yield (100k trials)", "stray shorts",
+                     "stray chains"});
 
   const struct {
     const char* cell;
@@ -40,9 +45,9 @@ int main() {
     const auto built = kit.cell(c.cell, c.style);
     const auto exact =
         cnt::check_exact(built.layout, built.netlist, built.function);
-    const auto mc = cnt::monte_carlo(built.layout, built.netlist,
-                                     built.function, cnt::TubeModel{}, 2000,
-                                     2024);
+    const auto mc =
+        cnt::monte_carlo(built.layout, built.netlist, built.function,
+                         cnt::TubeModel{}, 100'000, 2024, /*num_threads=*/0);
     t.add_row({c.cell, layout::to_string(c.style),
                exact.immune ? "IMMUNE" : "VULNERABLE",
                std::to_string(exact.short_pairs),

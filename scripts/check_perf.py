@@ -24,9 +24,9 @@ The zero-allocation and bit-identity gates apply everywhere.
 
 Usage: python3 scripts/check_perf.py [BENCH_perf.json] [--only SECTION]
 
-`--only scale` / `--only scaling` gate just that section — for CI jobs
-that run one bench alone and so produce a BENCH_perf.json without the
-other sections.
+`--only scale` / `--only scaling` / `--only mc` gate just that section —
+for CI jobs that run one bench alone and so produce a BENCH_perf.json
+without the other sections.
 """
 from __future__ import annotations
 
@@ -106,6 +106,35 @@ def check_scaling(scaling: dict, floors: dict) -> None:
              "binary built without CNFET_COUNT_ALLOCS")
 
 
+def check_mc(mc: dict, floors: dict) -> None:
+    """The Monte Carlo tracer section from bench_mc.
+
+    The speedup gates are in-run A/B ratios (naive all-pairs tracer vs
+    indexed tracer, same binary, same tube population) and so are
+    host-independent: dense_tracer_speedup is the asymptotic headline
+    (the 16-band synthetic geometry where the all-pairs scan pays its
+    O(shapes) cost), min_tracer_speedup and min_speedup_100k are the
+    honest tier-1 numbers (tiny 2-band geometries; the all-pairs scan is
+    already cheap there). The identity flags — indexed tracer emits
+    bit-identical results to the naive reference, and the threaded run
+    is bit-identical to the serial one — gate everywhere, always.
+    """
+    check_floor("mc.dense_tracer_speedup", mc["dense_tracer_speedup"],
+                floors["dense_tracer_speedup"])
+    check_floor("mc.min_tracer_speedup", mc["min_tracer_speedup"],
+                floors["min_tracer_speedup"])
+    check_floor("mc.min_speedup_100k", mc["min_speedup_100k"],
+                floors["min_speedup_100k"])
+    check_floor("mc.min_indexed_100k_trials_per_sec",
+                mc["min_indexed_100k_trials_per_sec"],
+                floors["trials_per_sec_100k"], unit="")
+    check_floor("mc.min_indexed_1m_trials_per_sec",
+                mc["min_indexed_1m_trials_per_sec"],
+                floors["trials_per_sec_1m"], unit="")
+    check_flag("mc.indexed_eq_naive", mc["indexed_eq_naive"])
+    check_flag("mc.thread_invariant", mc["thread_invariant"])
+
+
 def print_table() -> None:
     width = max(len(r[0]) for r in rows)
     for name, measured, floor, status in rows:
@@ -128,6 +157,8 @@ def main() -> int:
         check_scale(bench["scale"], baseline["scale"])
     elif only == "scaling":
         check_scaling(bench["scaling"], baseline["scaling"])
+    elif only == "mc":
+        check_mc(bench["mc"], baseline["mc"])
     elif only is not None:
         print(f"FAIL: unknown --only section '{only}'")
         return 1
@@ -182,6 +213,8 @@ def main() -> int:
             check_scale(bench["scale"], baseline["scale"])
         if "scaling" in bench:
             check_scaling(bench["scaling"], baseline["scaling"])
+        if "mc" in bench:
+            check_mc(bench["mc"], baseline["mc"])
 
     print_table()
     if failures:

@@ -100,6 +100,19 @@ std::vector<int> ints_from_json(const json::Value& v) {
   return out;
 }
 
+json::Value int64s_to_json(const std::vector<std::int64_t>& values) {
+  json::Value arr = json::Value::array();
+  for (const std::int64_t v : values) arr.push_back(v);
+  return arr;
+}
+
+std::vector<std::int64_t> int64s_from_json(const json::Value& v) {
+  std::vector<std::int64_t> out;
+  out.reserve(v.size());
+  for (const auto& item : v.items()) out.push_back(item.as_int64());
+  return out;
+}
+
 json::Value strings_to_json(const std::vector<std::string>& values) {
   json::Value arr = json::Value::array();
   for (const auto& v : values) arr.push_back(v);
@@ -651,6 +664,32 @@ sta::StaResult sta_result_from_json(const json::Value& v) {
   result.energy_per_cycle = v.get_double("energy_per_cycle");
   result.arrival = doubles_from_json(v.at("arrival"));
   result.slew = doubles_from_json(v.at("slew"));
+  return result;
+}
+
+// --- cnt::MonteCarloResult --------------------------------------------------
+
+json::Value to_json(const cnt::MonteCarloResult& result) {
+  json::Value v = json::Value::object();
+  v.set("trials", result.trials);
+  v.set("failing_trials", result.failing_trials);
+  v.set("tubes_sampled", result.tubes_sampled);
+  v.set("stray_shorts", result.stray_shorts);
+  v.set("stray_chains", result.stray_chains);
+  v.set("shorts_histogram", int64s_to_json(result.shorts_histogram));
+  v.set("chains_histogram", int64s_to_json(result.chains_histogram));
+  return v;
+}
+
+cnt::MonteCarloResult monte_carlo_result_from_json(const json::Value& v) {
+  cnt::MonteCarloResult result;
+  result.trials = v.get_int("trials");
+  result.failing_trials = v.get_int("failing_trials");
+  result.tubes_sampled = v.get_int64("tubes_sampled");
+  result.stray_shorts = v.get_int64("stray_shorts");
+  result.stray_chains = v.get_int64("stray_chains");
+  result.shorts_histogram = int64s_from_json(v.at("shorts_histogram"));
+  result.chains_histogram = int64s_from_json(v.at("chains_histogram"));
   return result;
 }
 

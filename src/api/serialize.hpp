@@ -29,6 +29,7 @@
 
 #include "api/batch.hpp"
 #include "api/flow.hpp"
+#include "cnt/analyzer.hpp"
 #include "gen/gen.hpp"
 #include "util/json.hpp"
 
@@ -82,6 +83,15 @@ inline constexpr int kSchemaVersion = 1;
 
 [[nodiscard]] util::json::Value to_json(const sta::StaResult& result);
 [[nodiscard]] sta::StaResult sta_result_from_json(const util::json::Value& v);
+
+/// cnt::MonteCarloResult — the `cnfetc monte-carlo` command and the compile
+/// server's "monte_carlo" request both emit this shape, so a served run can
+/// be byte-compared against a local one. Only raw tallies travel (yield is
+/// derived); histograms are fixed-width int64 arrays (counts are exact in
+/// JSON doubles far beyond any real trial count).
+[[nodiscard]] util::json::Value to_json(const cnt::MonteCarloResult& result);
+[[nodiscard]] cnt::MonteCarloResult monte_carlo_result_from_json(
+    const util::json::Value& v);
 
 [[nodiscard]] util::json::Value to_json(const JobOutcome& outcome);
 [[nodiscard]] JobOutcome job_outcome_from_json(const util::json::Value& v);

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
 #include "geom/segment.hpp"
 #include "util/arena.hpp"
 #include "util/error.hpp"
+#include "util/histogram.hpp"
 #include "util/parallel.hpp"
 
 namespace cnfet::cnt {
@@ -60,31 +62,24 @@ bool spans_band_vertically(const Rect& shape, const Rect& band) {
 
 }  // namespace
 
-ImmunityReport check_exact(const layout::CellLayout& layout,
-                           const CellNetlist& cell,
+ImmunityReport check_exact(const GeometryIndex& index, const CellNetlist& cell,
                            const logic::TruthTable& function) {
-  const CellGeometry geo = layout.geometry();
-
-  // The proof requires the bands to be pairwise disjoint (tubes cannot
-  // bridge two bands: the active etch cuts them in between).
-  for (std::size_t i = 0; i < geo.bands.size(); ++i) {
-    for (std::size_t j = i + 1; j < geo.bands.size(); ++j) {
-      CNFET_REQUIRE_MSG(!geo.bands[i].rect.overlaps(geo.bands[j].rect),
-                        "CNT bands must be disjoint for the immunity proof");
-    }
-  }
+  // The bands were proven pairwise disjoint at index construction (tubes
+  // cannot bridge two bands: the active etch cuts them in between), so no
+  // per-call validation runs here.
+  const CellGeometry& geo = index.geometry();
 
   ImmunityReport report;
-  for (const auto& band : geo.bands) {
-    // Shapes relevant to this band.
+  for (std::size_t bi = 0; bi < index.bands().size(); ++bi) {
+    const auto& band = geo.bands[bi];
+    // Contacts relevant to this band, in x order: prefiltered and
+    // presorted by the index. The index bins by closed touch (what the
+    // tracer needs); the proof ignores contacts that merely abut the
+    // band edge, hence the overlap re-filter.
     std::vector<layout::ContactShape> contacts;
-    for (const auto& c : geo.contacts) {
-      if (c.rect.overlaps(band.rect)) contacts.push_back(c);
+    for (const auto& e : index.bands()[bi].contacts.entries()) {
+      if (e.rect.overlaps(band.rect)) contacts.push_back({e.net, e.rect});
     }
-    std::sort(contacts.begin(), contacts.end(),
-              [](const auto& a, const auto& b) {
-                return a.rect.lo().x < b.rect.lo().x;
-              });
 
     // Adjacent contact pairs suffice: effects are monotone and non-adjacent
     // chains are series compositions of adjacent ones (see header).
@@ -130,6 +125,13 @@ ImmunityReport check_exact(const layout::CellLayout& layout,
   return report;
 }
 
+ImmunityReport check_exact(const layout::CellLayout& layout,
+                           const CellNetlist& cell,
+                           const logic::TruthTable& function) {
+  const GeometryIndex index(layout.geometry());
+  return check_exact(index, cell, function);
+}
+
 namespace {
 
 /// One ordered crossing event along a tube polyline.
@@ -141,6 +143,71 @@ struct Event {
   int gate_input = 0;
 };
 
+/// Total order on events: parameter t, then kind/payload as tie-breaks.
+/// Both tracers sort through THIS comparator, so ties between distinct
+/// events resolve identically no matter which order the candidates were
+/// enumerated in — that normalization is what makes the indexed event
+/// list bit-identical to the naive one.
+bool event_less(const Event& a, const Event& b) {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.kind != b.kind) {
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  }
+  if (a.net != b.net) return a.net < b.net;
+  return a.gate_input < b.gate_input;
+}
+
+/// Midpoint parameter of the segment portion inside `r`, restricted to
+/// the in-band interval [bt0, bt1]; nullopt when they do not meet. The
+/// ONE place crossing math happens — both tracers call it with identical
+/// arguments, which is the other half of the bit-identity argument.
+std::optional<double> clip_mid(const Segment& seg, double bt0, double bt1,
+                               const Rect& r) {
+  const auto tt = seg.clip(r);
+  if (!tt) return std::nullopt;
+  const double lo = std::max(tt->first, bt0);
+  const double hi = std::min(tt->second, bt1);
+  if (lo > hi) return std::nullopt;
+  return (lo + hi) / 2.0;
+}
+
+/// Walks one band's sorted events: contacts anchor chains; gates extend
+/// the pending chain; etch slots and band exits break continuity.
+/// Effects are APPENDED to `effects`.
+void walk_events(const util::ArenaVector<Event>& events,
+                 netlist::FetType doping, util::Arena& arena,
+                 std::vector<StrayEffect>& effects) {
+  bool have_anchor = false;
+  NetId anchor = 0;
+  util::ArenaVector<StrayLink> pending{util::ArenaAllocator<StrayLink>(arena)};
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case Event::Kind::kGap:
+      case Event::Kind::kEtch:
+        have_anchor = false;
+        pending.clear();
+        break;
+      case Event::Kind::kGate:
+        if (have_anchor) pending.push_back({ev.gate_input, doping});
+        break;
+      case Event::Kind::kContact:
+        if (have_anchor && !(anchor == ev.net && pending.empty())) {
+          StrayEffect effect;
+          effect.a = anchor;
+          effect.b = ev.net;
+          effect.chain.assign(pending.begin(), pending.end());
+          effects.push_back(std::move(effect));
+        }
+        have_anchor = true;
+        anchor = ev.net;
+        pending.clear();
+        break;
+    }
+  }
+}
+
+}  // namespace
+
 /// trace_tube with caller-owned storage: the per-band event list and the
 /// pending chain live in `arena` (reset here, so the caller must not hold
 /// arena data across calls) and effects are APPENDED to `effects`. Once
@@ -148,6 +215,9 @@ struct Event {
 /// touches the heap only when an effect with a non-empty chain is
 /// recorded — the Monte Carlo hot path (most tubes miss) allocates
 /// nothing.
+///
+/// This is the naive all-pairs reference: every segment against every
+/// band, contact, gate and etch rectangle.
 void trace_tube_into(const CellGeometry& geometry,
                      const std::vector<DVec2>& polyline, util::Arena& arena,
                      std::vector<StrayEffect>& effects) {
@@ -169,66 +239,148 @@ void trace_tube_into(const CellGeometry& geometry,
       if (bt0 > 0.0) events.push_back({Event::Kind::kGap, base + bt0 - 1e-9, 0, 0});
       if (bt1 < 1.0) events.push_back({Event::Kind::kGap, base + bt1 + 1e-9, 0, 0});
 
-      auto clip_mid = [&](const Rect& r) -> std::optional<double> {
-        const auto tt = seg.clip(r);
-        if (!tt) return std::nullopt;
-        const double lo = std::max(tt->first, bt0);
-        const double hi = std::min(tt->second, bt1);
-        if (lo > hi) return std::nullopt;
-        return (lo + hi) / 2.0;
-      };
       for (const auto& c : geometry.contacts) {
-        if (auto t = clip_mid(c.rect)) {
+        if (auto t = clip_mid(seg, bt0, bt1, c.rect)) {
           events.push_back({Event::Kind::kContact, base + *t, c.net, 0});
         }
       }
       for (const auto& g : geometry.gates) {
-        if (auto t = clip_mid(g.rect)) {
+        if (auto t = clip_mid(seg, bt0, bt1, g.rect)) {
           events.push_back({Event::Kind::kGate, base + *t, 0, g.input});
         }
       }
       for (const auto& e : geometry.etches) {
-        if (auto t = clip_mid(e)) {
+        if (auto t = clip_mid(seg, bt0, bt1, e)) {
           events.push_back({Event::Kind::kEtch, base + *t, 0, 0});
         }
       }
     }
-    std::sort(events.begin(), events.end(),
-              [](const Event& a, const Event& b) { return a.t < b.t; });
-
-    // Walk the events: contacts anchor chains; gates extend the pending
-    // chain; etch slots and band exits break continuity.
-    bool have_anchor = false;
-    NetId anchor = 0;
-    util::ArenaVector<StrayLink> pending{util::ArenaAllocator<StrayLink>(arena)};
-    for (const auto& ev : events) {
-      switch (ev.kind) {
-        case Event::Kind::kGap:
-        case Event::Kind::kEtch:
-          have_anchor = false;
-          pending.clear();
-          break;
-        case Event::Kind::kGate:
-          if (have_anchor) pending.push_back({ev.gate_input, band.doping});
-          break;
-        case Event::Kind::kContact:
-          if (have_anchor && !(anchor == ev.net && pending.empty())) {
-            StrayEffect effect;
-            effect.a = anchor;
-            effect.b = ev.net;
-            effect.chain.assign(pending.begin(), pending.end());
-            effects.push_back(std::move(effect));
-          }
-          have_anchor = true;
-          anchor = ev.net;
-          pending.clear();
-          break;
-      }
-    }
+    std::sort(events.begin(), events.end(), event_less);
+    walk_events(events, band.doping, arena, effects);
   }
 }
 
-}  // namespace
+/// Index-accelerated tracer. Emits the same events as the naive tracer —
+/// the index only prunes shapes/bands the exact clip math provably cannot
+/// hit (closed, padded interval tests), and the sort normalizes
+/// enumeration order — so the appended effect list is bit-identical.
+///
+/// All query padding lives inside the index (folded into its stored
+/// bounds at build time), so this hot path compares raw coordinates only.
+void trace_tube_into(const GeometryIndex& index,
+                     const std::vector<DVec2>& polyline, util::Arena& arena,
+                     std::vector<StrayEffect>& effects) {
+  CNFET_REQUIRE(polyline.size() >= 2);
+
+  // Bounding box of the whole tube, tested against the (pre-padded)
+  // all-bands box one axis at a time: bands are short and wide, so most
+  // Monte Carlo tubes miss on y alone and retire before any x work.
+  DVec2 lo = polyline[0];
+  DVec2 hi = polyline[0];
+  for (const auto& p : polyline) {
+    lo.y = std::min(lo.y, p.y);
+    hi.y = std::max(hi.y, p.y);
+  }
+  if (!index.may_touch_bands_y(lo.y, hi.y)) return;
+  for (const auto& p : polyline) {
+    lo.x = std::min(lo.x, p.x);
+    hi.x = std::max(hi.x, p.x);
+  }
+  if (!index.may_touch_bands_x(lo.x, hi.x)) return;
+
+  // Candidate bands from the y-bin. Iterating set bits low-to-high visits
+  // candidates in original band order — part of the bit-identity
+  // contract. A band skipped by the mask yields no segment clip in the
+  // naive tracer, hence only gap events, hence no effects — dropping it
+  // whole is effect-equivalent to the naive per-band walk.
+  std::uint64_t mask = index.bands_in_y(lo.y, hi.y);
+  const auto& bands = index.bands();
+  bool arena_warm = false;
+  for (; mask != 0; mask &= mask - 1) {
+    const auto& band = bands[static_cast<std::size_t>(std::countr_zero(mask))];
+
+    // Candidate-count pre-pass: each (segment, contact) candidate yields
+    // at most one contact event, and walk_events only emits an effect on
+    // the second or later contact event of a band (the first merely
+    // anchors). So fewer than two contact candidates proves this band
+    // appends no effects for this tube, and its whole event/sort/walk
+    // machinery can be skipped with an identical result.
+    int contact_candidates = 0;
+    for (std::size_t s = 0; s + 1 < polyline.size() && contact_candidates < 2;
+         ++s) {
+      const DVec2& a = polyline[s];
+      const DVec2& b = polyline[s + 1];
+      const double sx_lo = std::min(a.x, b.x);
+      const double sx_hi = std::max(a.x, b.x);
+      if (sx_lo > band.q_hi_x || sx_hi < band.q_lo_x) continue;
+      const double sy_lo = std::min(a.y, b.y);
+      const double sy_hi = std::max(a.y, b.y);
+      if (sy_lo > band.q_hi_y || sy_hi < band.q_lo_y) continue;
+      contact_candidates += band.contacts.count_overlapping_x(
+          std::max(sx_lo, band.lo_x), std::min(sx_hi, band.hi_x));
+    }
+    if (contact_candidates < 2) continue;
+
+    // Arena scratch is only claimed once a band survives the pre-pass;
+    // the (common) all-bands-skipped tube never touches it.
+    if (!arena_warm) {
+      arena.reset();
+      arena_warm = true;
+    }
+    util::ArenaVector<Event> events{util::ArenaAllocator<Event>(arena)};
+    for (std::size_t s = 0; s + 1 < polyline.size(); ++s) {
+      const Segment seg(polyline[s], polyline[s + 1]);
+      // Cheap reject: the naive tracer's `!in_band` branch emits exactly
+      // this gap event, so skipping the Liang-Barsky clip is free.
+      const double sx_lo = std::min(seg.a().x, seg.b().x);
+      const double sx_hi = std::max(seg.a().x, seg.b().x);
+      const double sy_lo = std::min(seg.a().y, seg.b().y);
+      const double sy_hi = std::max(seg.a().y, seg.b().y);
+      if (sx_lo > band.q_hi_x || sx_hi < band.q_lo_x ||
+          sy_lo > band.q_hi_y || sy_hi < band.q_lo_y) {
+        events.push_back({Event::Kind::kGap, static_cast<double>(s), 0, 0});
+        continue;
+      }
+      const auto in_band = seg.clip(band.rect);
+      if (!in_band) {
+        events.push_back({Event::Kind::kGap, static_cast<double>(s), 0, 0});
+        continue;
+      }
+      const auto [bt0, bt1] = *in_band;
+      const double base = static_cast<double>(s);
+      if (bt0 > 0.0) events.push_back({Event::Kind::kGap, base + bt0 - 1e-9, 0, 0});
+      if (bt1 < 1.0) events.push_back({Event::Kind::kGap, base + bt1 + 1e-9, 0, 0});
+
+      // Any crossing inside [bt0, bt1] lies in the band rect AND on the
+      // segment, so its x sits inside both the segment's x-range and the
+      // band's x-slab; the intersection of the two (padded inside the
+      // interval index) bounds every shape the clip math can hit.
+      const double span_lo = std::max(sx_lo, band.lo_x);
+      const double span_hi = std::min(sx_hi, band.hi_x);
+      band.contacts.for_overlapping_x(
+          span_lo, span_hi, [&](const IntervalIndex::Entry& c) {
+            if (auto t = clip_mid(seg, bt0, bt1, c.rect)) {
+              events.push_back({Event::Kind::kContact, base + *t, c.net, 0});
+            }
+          });
+      band.gates.for_overlapping_x(
+          span_lo, span_hi, [&](const IntervalIndex::Entry& g) {
+            if (auto t = clip_mid(seg, bt0, bt1, g.rect)) {
+              events.push_back(
+                  {Event::Kind::kGate, base + *t, 0, g.gate_input});
+            }
+          });
+      band.etches.for_overlapping_x(
+          span_lo, span_hi, [&](const IntervalIndex::Entry& e) {
+            if (auto t = clip_mid(seg, bt0, bt1, e.rect)) {
+              events.push_back({Event::Kind::kEtch, base + *t, 0, 0});
+            }
+          });
+    }
+    std::sort(events.begin(), events.end(), event_less);
+    walk_events(events, band.doping, arena, effects);
+  }
+}
 
 std::vector<StrayEffect> trace_tube(const CellGeometry& geometry,
                                     const std::vector<DVec2>& polyline) {
@@ -238,18 +390,40 @@ std::vector<StrayEffect> trace_tube(const CellGeometry& geometry,
   return effects;
 }
 
+std::vector<StrayEffect> trace_tube_naive(const CellGeometry& geometry,
+                                          const std::vector<DVec2>& polyline) {
+  return trace_tube(geometry, polyline);
+}
+
+std::vector<StrayEffect> trace_tube(const GeometryIndex& index,
+                                    const std::vector<DVec2>& polyline) {
+  std::vector<StrayEffect> effects;
+  util::Arena arena;
+  trace_tube_into(index, polyline, arena, effects);
+  return effects;
+}
+
 namespace {
 
 /// Per-worker Monte Carlo scratch (util::worker_scratch): the augmented
 /// netlist copy, the tube polyline/effect buffers, and the tracer arena
-/// all persist across the worker's trials, so a warm trial's only heap
-/// traffic is the rare effect chain and the netlist's own growth.
+/// all persist across the worker's trials. The netlist is copied once per
+/// (worker, monte_carlo call) and rolled back to its mark per trial, so a
+/// warm trial's only heap traffic is the rare effect chain and the
+/// netlist's own growth past steady state.
 struct McScratch {
-  CellNetlist augmented{0};  ///< placeholder shape; copy-assigned per trial
+  CellNetlist augmented{0};  ///< placeholder shape; rebound per call
+  CellNetlist::Mark mark{};
+  std::uint64_t bound_call = 0;  ///< which monte_carlo call `augmented` copies
   std::vector<DVec2> polyline;
   std::vector<StrayEffect> effects;
   util::Arena arena;
 };
+
+/// Distinguishes monte_carlo invocations so worker scratch never rolls a
+/// netlist back across calls (the daemon dispatches concurrent Monte
+/// Carlo requests onto the same pool workers).
+std::atomic<std::uint64_t> mc_call_counter{0};
 
 }  // namespace
 
@@ -257,10 +431,15 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
                              const CellNetlist& cell,
                              const logic::TruthTable& function,
                              const TubeModel& model, int trials,
-                             std::uint64_t seed, int num_threads) {
+                             std::uint64_t seed, int num_threads,
+                             TracerKind tracer) {
   CNFET_REQUIRE(trials > 0 && model.tubes_per_trial > 0);
-  const CellGeometry geo = layout.geometry();
+  // Built once and shared read-only by every worker; construction also
+  // proves the bands disjoint, once, instead of per analysis call.
+  const GeometryIndex index(layout.geometry());
+  const CellGeometry& geo = index.geometry();
   const Rect box = layout.bbox();
+  const std::uint64_t call_id = mc_call_counter.fetch_add(1) + 1;
 
   constexpr double kPi = 3.14159265358979323846;
   const double diag_margin = model.mean_length_lambda * geom::kLambda;
@@ -268,11 +447,14 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
   // Trials are independent instances; each draws from its own
   // counter-seeded stream (see header) and folds integer tallies into the
   // shared counters. Integer addition commutes, so the totals — and hence
-  // the whole MonteCarloResult — are identical for every thread count.
+  // the whole MonteCarloResult, histograms included — are identical for
+  // every thread count.
   std::atomic<int> failing_trials{0};
   std::atomic<std::int64_t> tubes_sampled{0};
   std::atomic<std::int64_t> stray_shorts{0};
   std::atomic<std::int64_t> stray_chains{0};
+  util::AtomicHistogram shorts_histogram(MonteCarloResult::kHistogramBuckets);
+  util::AtomicHistogram chains_histogram(MonteCarloResult::kHistogramBuckets);
 
   auto run_trial = [&](std::int64_t trial) {
     util::Xoshiro256 rng(
@@ -280,8 +462,14 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
     std::int64_t trial_shorts = 0;
     std::int64_t trial_chains = 0;
     McScratch& scratch = util::worker_scratch<McScratch>();
+    if (scratch.bound_call != call_id) {
+      scratch.augmented = cell;
+      scratch.mark = scratch.augmented.mark();
+      scratch.bound_call = call_id;
+    } else {
+      scratch.augmented.rollback(scratch.mark);
+    }
     CellNetlist& augmented = scratch.augmented;
-    augmented = cell;
     bool any_effect = false;
     for (int tube = 0; tube < model.tubes_per_trial; ++tube) {
       // Random center anywhere a tube could still intersect the cell.
@@ -312,7 +500,13 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
 
       scratch.polyline.assign({start, mid, end});
       scratch.effects.clear();
-      trace_tube_into(geo, scratch.polyline, scratch.arena, scratch.effects);
+      if (tracer == TracerKind::kNaive) {
+        trace_tube_into(geo, scratch.polyline, scratch.arena,
+                        scratch.effects);
+      } else {
+        trace_tube_into(index, scratch.polyline, scratch.arena,
+                        scratch.effects);
+      }
       for (const auto& effect : scratch.effects) {
         any_effect = true;
         if (effect.is_short()) {
@@ -326,6 +520,8 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
     tubes_sampled += model.tubes_per_trial;
     stray_shorts += trial_shorts;
     stray_chains += trial_chains;
+    shorts_histogram.add(trial_shorts);
+    chains_histogram.add(trial_chains);
     if (any_effect && !augmented.check_function(function).ok) {
       ++failing_trials;
     }
@@ -345,6 +541,8 @@ MonteCarloResult monte_carlo(const layout::CellLayout& layout,
   result.tubes_sampled = tubes_sampled.load();
   result.stray_shorts = stray_shorts.load();
   result.stray_chains = stray_chains.load();
+  result.shorts_histogram = shorts_histogram.counts();
+  result.chains_histogram = chains_histogram.counts();
   return result;
 }
 

@@ -31,9 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "cnt/geometry_index.hpp"
 #include "geom/vec.hpp"
 #include "layout/cell_layout.hpp"
 #include "netlist/cell_netlist.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace cnfet::cnt {
@@ -72,7 +74,18 @@ struct ImmunityReport {
 };
 
 /// Straight-tube immunity proof for a cell layout against its function.
+/// Builds a GeometryIndex internally; callers that analyze the same
+/// geometry repeatedly should build the index once and use the overload
+/// below — the band-disjointness proof then runs once per geometry
+/// instead of once per call.
 [[nodiscard]] ImmunityReport check_exact(const layout::CellLayout& layout,
+                                         const netlist::CellNetlist& cell,
+                                         const logic::TruthTable& function);
+
+/// Straight-tube immunity proof over a prebuilt index. The bands were
+/// proven pairwise disjoint at index construction, so this path carries
+/// no per-call geometry validation.
+[[nodiscard]] ImmunityReport check_exact(const GeometryIndex& index,
                                          const netlist::CellNetlist& cell,
                                          const logic::TruthTable& function);
 
@@ -87,16 +100,31 @@ struct TubeModel {
 };
 
 struct MonteCarloResult {
+  /// Width of the per-trial histograms: bucket b counts trials that saw
+  /// exactly b effects of that kind, with the last bucket saturating
+  /// (>= kHistogramBuckets - 1 effects).
+  static constexpr int kHistogramBuckets = 32;
+
   int trials = 0;
   int failing_trials = 0;
   std::int64_t tubes_sampled = 0;
   std::int64_t stray_shorts = 0;   ///< hard-short effects observed
   std::int64_t stray_chains = 0;   ///< gated chain effects observed
+  /// Per-trial distribution of hard-short effect counts (size
+  /// kHistogramBuckets, buckets sum to `trials`).
+  std::vector<std::int64_t> shorts_histogram;
+  /// Per-trial distribution of gated-chain effect counts.
+  std::vector<std::int64_t> chains_histogram;
   [[nodiscard]] double yield() const {
     return trials == 0 ? 1.0
                        : 1.0 - static_cast<double>(failing_trials) / trials;
   }
 };
+
+/// Which tube tracer monte_carlo runs. The naive tracer is the all-pairs
+/// reference implementation, kept compiled as the A/B baseline for the
+/// indexed≡naive equivalence gates (tests, bench_mc, check_perf.py).
+enum class TracerKind { kIndexed, kNaive };
 
 /// Samples `trials` cell instances, each hit by tubes_per_trial mispositioned
 /// tubes, and evaluates the augmented netlist functionally per instance.
@@ -106,17 +134,42 @@ struct MonteCarloResult {
 /// so the same (seed, trials, model) produces a bit-identical result for
 /// ANY `num_threads` — trials shard across workers without sharing a
 /// stream. `num_threads` 1 runs inline, 0 uses every hardware thread.
-[[nodiscard]] MonteCarloResult monte_carlo(const layout::CellLayout& layout,
-                                           const netlist::CellNetlist& cell,
-                                           const logic::TruthTable& function,
-                                           const TubeModel& model, int trials,
-                                           std::uint64_t seed = 1,
-                                           int num_threads = 1);
+[[nodiscard]] MonteCarloResult monte_carlo(
+    const layout::CellLayout& layout, const netlist::CellNetlist& cell,
+    const logic::TruthTable& function, const TubeModel& model, int trials,
+    std::uint64_t seed = 1, int num_threads = 1,
+    TracerKind tracer = TracerKind::kIndexed);
 
 /// Stray effects of one explicit tube polyline (exposed for tests and the
-/// Figure-2 demonstration bench).
+/// Figure-2 demonstration bench). This is the naive all-pairs reference
+/// tracer; the GeometryIndex overload is the production path and is
+/// gated bit-identical to it.
 [[nodiscard]] std::vector<StrayEffect> trace_tube(
     const layout::CellGeometry& geometry,
     const std::vector<geom::DVec2>& polyline);
+
+/// Explicitly-named alias of the naive reference tracer, for A/B gates.
+[[nodiscard]] std::vector<StrayEffect> trace_tube_naive(
+    const layout::CellGeometry& geometry,
+    const std::vector<geom::DVec2>& polyline);
+
+/// Index-accelerated tracer: identical effect list to the naive tracer
+/// (same clip math on a conservative candidate superset, normalized
+/// through the same total-order event sort), at a fraction of the cost.
+[[nodiscard]] std::vector<StrayEffect> trace_tube(
+    const GeometryIndex& index, const std::vector<geom::DVec2>& polyline);
+
+/// Hot-loop variants with caller-owned storage: event/chain scratch lives
+/// in `arena`, which is reset before any scratch is claimed (callers must
+/// not hold arena data across calls), and effects are APPENDED to
+/// `effects`. With warm buffers a trace allocates nothing unless it
+/// records a chain-bearing effect — this is what monte_carlo runs per
+/// tube, and what bench_mc times for the tracer-only A/B.
+void trace_tube_into(const layout::CellGeometry& geometry,
+                     const std::vector<geom::DVec2>& polyline,
+                     util::Arena& arena, std::vector<StrayEffect>& effects);
+void trace_tube_into(const GeometryIndex& index,
+                     const std::vector<geom::DVec2>& polyline,
+                     util::Arena& arena, std::vector<StrayEffect>& effects);
 
 }  // namespace cnfet::cnt

@@ -1,0 +1,146 @@
+#include "cnt/geometry_index.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace cnfet::cnt {
+
+namespace {
+
+/// Deterministic total order on entries: geometry construction order must
+/// never leak into index contents (the tracer's bit-identity contract is
+/// against a normalized event sort, not against insertion order).
+bool entry_less(const IntervalIndex::Entry& a, const IntervalIndex::Entry& b) {
+  const auto key = [](const IntervalIndex::Entry& e) {
+    return std::make_tuple(e.rect.lo().x, e.rect.lo().y, e.rect.hi().x,
+                           e.rect.hi().y, e.net, e.gate_input);
+  };
+  return key(a) < key(b);
+}
+
+}  // namespace
+
+void IntervalIndex::build(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(), entry_less);
+  entries_ = std::move(entries);
+  lo_x_.resize(entries_.size());
+  hi_x_.resize(entries_.size());
+  prefix_max_hi_x_.resize(entries_.size());
+  double running_max = -1e300;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    // Pad folded in here, once, so queries compare raw coordinates.
+    lo_x_[i] = static_cast<double>(entries_[i].rect.lo().x) - kQueryPad;
+    hi_x_[i] = static_cast<double>(entries_[i].rect.hi().x) + kQueryPad;
+    running_max = std::max(running_max, hi_x_[i]);
+    prefix_max_hi_x_[i] = running_max;
+  }
+}
+
+GeometryIndex::GeometryIndex(layout::CellGeometry geometry)
+    : geometry_(std::move(geometry)) {
+  CNFET_REQUIRE_MSG(geometry_.bands.size() <= kMaxBands,
+                    "GeometryIndex supports at most 64 CNT bands");
+
+  // The immunity proof requires pairwise disjoint bands (tubes cannot
+  // bridge two bands: the active etch cuts them in between). Hoisted
+  // here from the per-call analysis path: one proof per geometry.
+  for (std::size_t i = 0; i < geometry_.bands.size(); ++i) {
+    for (std::size_t j = i + 1; j < geometry_.bands.size(); ++j) {
+      CNFET_REQUIRE_MSG(
+          !geometry_.bands[i].rect.overlaps(geometry_.bands[j].rect),
+          "CNT bands must be disjoint for the immunity proof");
+    }
+  }
+
+  bands_.reserve(geometry_.bands.size());
+  for (const auto& band : geometry_.bands) {
+    BandIndex index;
+    index.rect = band.rect;
+    index.doping = band.doping;
+    index.lo_x = static_cast<double>(band.rect.lo().x);
+    index.hi_x = static_cast<double>(band.rect.hi().x);
+    index.q_lo_x = index.lo_x - kQueryPad;
+    index.q_hi_x = index.hi_x + kQueryPad;
+    index.q_lo_y = static_cast<double>(band.rect.lo().y) - kQueryPad;
+    index.q_hi_y = static_cast<double>(band.rect.hi().y) + kQueryPad;
+    // Bin every shape that touches the band (closed-rectangle test): a
+    // shape producing a crossing inside the band shares at least a point
+    // with it, so this candidate set is conservative and exact.
+    std::vector<IntervalIndex::Entry> contacts;
+    for (const auto& c : geometry_.contacts) {
+      if (c.rect.touches(band.rect)) contacts.push_back({c.rect, c.net, 0});
+    }
+    index.contacts.build(std::move(contacts));
+    std::vector<IntervalIndex::Entry> gates;
+    for (const auto& g : geometry_.gates) {
+      if (g.rect.touches(band.rect)) gates.push_back({g.rect, 0, g.input});
+    }
+    index.gates.build(std::move(gates));
+    std::vector<IntervalIndex::Entry> etches;
+    for (const auto& e : geometry_.etches) {
+      if (e.touches(band.rect)) etches.push_back({e, 0, 0});
+    }
+    index.etches.build(std::move(etches));
+    bands_.push_back(std::move(index));
+  }
+
+  // Band y-bin (pre-padded bounds) and the padded all-bands bounding box.
+  band_order_.resize(bands_.size());
+  for (std::size_t i = 0; i < bands_.size(); ++i) {
+    band_order_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(band_order_.begin(), band_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const auto ka = std::make_tuple(bands_[a].rect.lo().y, a);
+              const auto kb = std::make_tuple(bands_[b].rect.lo().y, b);
+              return ka < kb;
+            });
+  band_lo_y_.resize(bands_.size());
+  band_hi_y_.resize(bands_.size());
+  prefix_max_hi_y_.resize(bands_.size());
+  double running_max = -1e300;
+  for (std::size_t i = 0; i < band_order_.size(); ++i) {
+    const auto& indexed = bands_[band_order_[i]];
+    band_lo_y_[i] = indexed.q_lo_y;
+    band_hi_y_[i] = indexed.q_hi_y;
+    running_max = std::max(running_max, indexed.q_hi_y);
+    prefix_max_hi_y_[i] = running_max;
+  }
+  has_bands_ = !bands_.empty();
+  if (has_bands_) {
+    bands_lo_ = {1e300, 1e300};
+    bands_hi_ = {-1e300, -1e300};
+    for (const auto& band : bands_) {
+      bands_lo_.x = std::min(bands_lo_.x, band.q_lo_x);
+      bands_lo_.y = std::min(bands_lo_.y, band.q_lo_y);
+      bands_hi_.x = std::max(bands_hi_.x, band.q_hi_x);
+      bands_hi_.y = std::max(bands_hi_.y, band.q_hi_y);
+    }
+  }
+}
+
+std::uint64_t GeometryIndex::bands_in_y(double y_lo, double y_hi) const {
+  std::uint64_t mask = 0;
+  // Binary search: sorted positions past `end` start above y_hi.
+  std::size_t lo = 0;
+  std::size_t hi = band_lo_y_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (band_lo_y_[mid] <= y_hi) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (std::size_t i = lo; i-- > 0;) {
+    if (prefix_max_hi_y_[i] < y_lo) break;
+    if (band_hi_y_[i] >= y_lo) {
+      mask |= std::uint64_t{1} << band_order_[i];
+    }
+  }
+  return mask;
+}
+
+}  // namespace cnfet::cnt

@@ -1,0 +1,186 @@
+// Read-only spatial index over a CellGeometry, built once and shared by
+// every Monte Carlo worker.
+//
+// The naive tube tracer tests every polyline segment against every band,
+// contact, gate and etch rectangle in the cell — an all-pairs scan whose
+// cost grows with geometry size and dominates million-trial Monte Carlo
+// runs. The index replaces those scans with three read-only structures:
+//
+//  * a bounding box over all bands, so a tube that cannot touch any band
+//    is rejected with one box test before any segment math runs;
+//  * bands binned by y-interval (sorted by lo.y with a running max of
+//    hi.y), answered as a bitmask of band indices so candidates come
+//    back in the geometry's original band order — traversal order is
+//    part of the tracer's bit-identity contract;
+//  * per band, x-sorted interval arrays of the contacts/gates/etches
+//    that touch the band, answered by binary search on lo.x plus a
+//    prefix max of hi.x for early exit, instead of a linear scan.
+//
+// Candidate sets are strict supersets of the shapes that can produce a
+// crossing (closed-rectangle touch tests, padded against floating-point
+// rounding), so querying the index and then running the exact clip math
+// yields the same events as the naive all-pairs scan — the indexed
+// tracer in analyzer.cpp is gated bit-identical to the naive one.
+//
+// The conservative padding (kQueryPad) is folded into the stored bounds
+// at build time, so the per-tube hot path compares raw coordinates
+// against pre-padded doubles — no per-query widening arithmetic.
+//
+// Construction also hoists the O(bands^2) band-disjointness proof out of
+// the per-call analysis path: the bands are validated pairwise disjoint
+// exactly once per geometry, here, instead of on every check_exact call
+// or Monte Carlo trial.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/vec.hpp"
+#include "layout/cell_layout.hpp"
+#include "netlist/cell_netlist.hpp"
+
+namespace cnfet::cnt {
+
+/// Conservative padding (in millilambda) applied to every stored query
+/// bound. Candidate filters must never exclude a shape the exact clip
+/// math would hit; coordinates are O(1e5) and Liang-Barsky rounding is
+/// O(1e-10) absolute, so 1e-2 is orders of magnitude more slack than
+/// needed while excluding nothing real (the closest distinct shapes sit
+/// hundreds of millilambda apart).
+inline constexpr double kQueryPad = 1e-2;
+
+/// x-sorted interval array over layout rectangles with a per-shape
+/// payload (contact net or gate input). Entries are ordered by a
+/// deterministic total order on (rect, payload), so the index contents
+/// never depend on geometry construction order. Query bounds are stored
+/// pre-padded by kQueryPad; callers pass raw x-intervals.
+class IntervalIndex {
+ public:
+  struct Entry {
+    geom::Rect rect;
+    netlist::NetId net = 0;  ///< contact payload
+    int gate_input = 0;      ///< gate payload
+  };
+
+  void build(std::vector<Entry> entries);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Calls fn(entry) for every entry whose padded x-interval meets
+  /// [x_lo, x_hi] (closed): exactly the entries with
+  /// rect.lo().x - pad <= x_hi and rect.hi().x + pad >= x_lo, in
+  /// unspecified order (callers normalize through the event sort).
+  template <typename Fn>
+  void for_overlapping_x(double x_lo, double x_hi, Fn&& fn) const {
+    for (std::size_t i = upper_bound_lo_x(x_hi); i-- > 0;) {
+      if (prefix_max_hi_x_[i] < x_lo) break;
+      if (hi_x_[i] >= x_lo) fn(entries_[i]);
+    }
+  }
+
+  /// Number of entries for_overlapping_x would visit. The tracer's
+  /// cheap "can this tube possibly join two contacts" test — candidate
+  /// counts bound crossing counts from above, so a count below 2 proves
+  /// a band cannot produce any stray effect for this tube.
+  [[nodiscard]] int count_overlapping_x(double x_lo, double x_hi) const {
+    int count = 0;
+    for (std::size_t i = upper_bound_lo_x(x_hi); i-- > 0;) {
+      if (prefix_max_hi_x_[i] < x_lo) break;
+      if (hi_x_[i] >= x_lo) ++count;
+    }
+    return count;
+  }
+
+ private:
+  /// First sorted position whose padded lo.x exceeds x_hi.
+  [[nodiscard]] std::size_t upper_bound_lo_x(double x_hi) const {
+    std::size_t lo = 0;
+    std::size_t hi = lo_x_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (lo_x_[mid] <= x_hi) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::vector<Entry> entries_;           ///< sorted by (lo.x, total order)
+  std::vector<double> lo_x_;             ///< rect.lo().x - kQueryPad
+  std::vector<double> hi_x_;             ///< rect.hi().x + kQueryPad
+  std::vector<double> prefix_max_hi_x_;  ///< max hi_x_ over entries_[0..i]
+};
+
+/// The per-CellGeometry index. Immutable after construction; safe to
+/// share across threads without locking (all queries are const).
+class GeometryIndex {
+ public:
+  /// At most this many bands per geometry: band y-bin queries answer with
+  /// a 64-bit mask so the tracer can visit candidates in original band
+  /// order without allocating. Real cells have two bands (PUN + PDN).
+  static constexpr std::size_t kMaxBands = 64;
+
+  struct BandIndex {
+    geom::Rect rect;
+    netlist::FetType doping = netlist::FetType::kN;
+    // The band box as doubles: q_* are padded by kQueryPad (touch
+    // tests), lo_x/hi_x are raw (x-span clamping; the pad for span
+    // queries lives inside the IntervalIndex bounds).
+    double lo_x = 0.0, hi_x = 0.0;
+    double q_lo_x = 0.0, q_hi_x = 0.0, q_lo_y = 0.0, q_hi_y = 0.0;
+    IntervalIndex contacts;
+    IntervalIndex gates;
+    IntervalIndex etches;
+  };
+
+  /// Builds the index and proves the bands pairwise disjoint (the
+  /// immunity argument requires that tubes cannot bridge two bands);
+  /// a violating geometry trips a contract check here, once, instead of
+  /// on every analysis call.
+  explicit GeometryIndex(layout::CellGeometry geometry);
+
+  [[nodiscard]] const layout::CellGeometry& geometry() const {
+    return geometry_;
+  }
+  [[nodiscard]] const std::vector<BandIndex>& bands() const { return bands_; }
+
+  /// Cheap early-out: false when the closed box [lo, hi] cannot touch
+  /// any band's padded rectangle, so the whole tube can be skipped.
+  [[nodiscard]] bool may_touch_bands(geom::DVec2 lo, geom::DVec2 hi) const {
+    return has_bands_ && lo.x <= bands_hi_.x && hi.x >= bands_lo_.x &&
+           lo.y <= bands_hi_.y && hi.y >= bands_lo_.y;
+  }
+
+  /// Axis-split halves of may_touch_bands, so the tracer can reject on
+  /// the y-extent (the common miss: bands are short and wide) before
+  /// spending min/max work on the x-extent.
+  [[nodiscard]] bool may_touch_bands_y(double y_lo, double y_hi) const {
+    return has_bands_ && y_lo <= bands_hi_.y && y_hi >= bands_lo_.y;
+  }
+  [[nodiscard]] bool may_touch_bands_x(double x_lo, double x_hi) const {
+    return has_bands_ && x_lo <= bands_hi_.x && x_hi >= bands_lo_.x;
+  }
+
+  /// Bitmask of band indices whose padded y-interval meets [y_lo, y_hi]
+  /// (closed): bit i set means bands()[i] is a candidate. Sorted-by-lo.y
+  /// walk with a prefix max of hi.y, so the scan exits early on queries
+  /// below every remaining band.
+  [[nodiscard]] std::uint64_t bands_in_y(double y_lo, double y_hi) const;
+
+ private:
+  layout::CellGeometry geometry_;
+  std::vector<BandIndex> bands_;
+  // Band y-bin, sorted by lo.y; bounds pre-padded by kQueryPad.
+  std::vector<double> band_lo_y_;
+  std::vector<double> band_hi_y_;
+  std::vector<double> prefix_max_hi_y_;
+  std::vector<std::uint32_t> band_order_;  ///< sorted position -> band index
+  bool has_bands_ = false;
+  geom::DVec2 bands_lo_{};  ///< padded bounding box over every band
+  geom::DVec2 bands_hi_{};
+};
+
+}  // namespace cnfet::cnt

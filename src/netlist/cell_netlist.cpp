@@ -1,5 +1,6 @@
 #include "netlist/cell_netlist.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 #include <sstream>
@@ -53,6 +54,15 @@ void CellNetlist::add_fet(Fet fet) {
   CNFET_REQUIRE(fet.b >= 0 && fet.b < num_nets());
   CNFET_REQUIRE(fet.width_lambda > 0);
   fets_.push_back(fet);
+}
+
+void CellNetlist::rollback(const Mark& m) {
+  CNFET_REQUIRE(m.num_nets >= 3 && m.num_nets <= net_names_.size());
+  CNFET_REQUIRE(m.num_fets <= fets_.size());
+  CNFET_REQUIRE(m.num_shorts <= shorts_.size());
+  net_names_.resize(m.num_nets);
+  fets_.resize(m.num_fets);
+  shorts_.resize(m.num_shorts);
 }
 
 void CellNetlist::add_short(RailShort s) {
@@ -131,9 +141,77 @@ bool CellNetlist::has_supply_short(std::uint64_t input_row) const {
 FunctionalReport CellNetlist::check_function(
     const logic::TruthTable& expected) const {
   CNFET_REQUIRE(expected.num_inputs() == num_inputs_);
+
+  // Hot path (Monte Carlo calls this once per trial): build one incidence
+  // CSR over every potential conduction edge (FET channels tagged with
+  // their gate condition, hard shorts always on), then flood each truth
+  // table row against it with zero further allocation. The computed reach
+  // sets are identical to reachability(row) — only the adjacency-building
+  // and queue allocations per row are gone; connectivity is order-blind.
+  struct HalfEdge {
+    NetId to = 0;
+    int gate_input = 0;
+    FetType type = FetType::kN;
+    bool gated = false;  ///< false: hard short, always conducts
+  };
+  const auto net_count = static_cast<std::size_t>(num_nets());
+  std::vector<int> degree(net_count + 1, 0);
+  for (const auto& f : fets_) {
+    ++degree[static_cast<std::size_t>(f.a) + 1];
+    ++degree[static_cast<std::size_t>(f.b) + 1];
+  }
+  for (const auto& s : shorts_) {
+    ++degree[static_cast<std::size_t>(s.a) + 1];
+    ++degree[static_cast<std::size_t>(s.b) + 1];
+  }
+  for (std::size_t n = 0; n < net_count; ++n) degree[n + 1] += degree[n];
+  std::vector<HalfEdge> edges(static_cast<std::size_t>(degree[net_count]));
+  std::vector<int> cursor(degree.begin(), degree.end() - 1);
+  const auto push_edge = [&](NetId a, NetId b, int gate_input, FetType type,
+                             bool gated) {
+    edges[static_cast<std::size_t>(cursor[static_cast<std::size_t>(a)]++)] =
+        {b, gate_input, type, gated};
+    edges[static_cast<std::size_t>(cursor[static_cast<std::size_t>(b)]++)] =
+        {a, gate_input, type, gated};
+  };
+  for (const auto& f : fets_) push_edge(f.a, f.b, f.gate_input, f.type, true);
+  for (const auto& s : shorts_) push_edge(s.a, s.b, 0, FetType::kN, false);
+
+  std::vector<Reach> reach(net_count);
+  std::vector<NetId> stack;
+  stack.reserve(net_count);
+  // Flood marking `field` (from_vdd or from_gnd); the mark itself is the
+  // visited flag, so no separate seen array is needed.
+  const auto flood = [&](NetId seed, bool Reach::* field,
+                         std::uint64_t input_row) {
+    stack.clear();
+    stack.push_back(seed);
+    reach[static_cast<std::size_t>(seed)].*field = true;
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      const int begin = degree[static_cast<std::size_t>(n)];
+      const int end = degree[static_cast<std::size_t>(n) + 1];
+      for (int e = begin; e < end; ++e) {
+        const HalfEdge& edge = edges[static_cast<std::size_t>(e)];
+        if (edge.gated) {
+          const bool gate_high = (input_row >> edge.gate_input) & 1;
+          const bool on = edge.type == FetType::kN ? gate_high : !gate_high;
+          if (!on) continue;
+        }
+        if (!(reach[static_cast<std::size_t>(edge.to)].*field)) {
+          reach[static_cast<std::size_t>(edge.to)].*field = true;
+          stack.push_back(edge.to);
+        }
+      }
+    }
+  };
+
   FunctionalReport report;
   for (std::uint64_t row = 0; row < expected.num_rows(); ++row) {
-    const auto reach = reachability(row);
+    std::fill(reach.begin(), reach.end(), Reach{});
+    flood(kVdd, &Reach::from_vdd, row);
+    flood(kGnd, &Reach::from_gnd, row);
     const Reach out = reach[kOut];
     const bool supply_short = reach[kVdd].from_gnd;
     Level level = Level::kFloat;

@@ -75,6 +75,23 @@ class CellNetlist {
   void add_fet(Fet fet);
   void add_short(RailShort s);
 
+  /// Size snapshot for rollback(): nets, FETs and shorts are append-only,
+  /// so truncating back to a mark restores the exact pre-mark netlist.
+  /// This is the Monte Carlo hot path — each trial superimposes stray
+  /// devices on a persistent per-worker copy and rewinds, instead of
+  /// re-copying the whole netlist (and every net-name string) per trial.
+  struct Mark {
+    std::size_t num_nets = 0;
+    std::size_t num_fets = 0;
+    std::size_t num_shorts = 0;
+  };
+  [[nodiscard]] Mark mark() const {
+    return {net_names_.size(), fets_.size(), shorts_.size()};
+  }
+  /// Discards everything added after `m` (contract: `m` was taken on this
+  /// netlist and nothing was removed since).
+  void rollback(const Mark& m);
+
   [[nodiscard]] const std::vector<Fet>& fets() const { return fets_; }
   [[nodiscard]] const std::vector<RailShort>& shorts() const {
     return shorts_;

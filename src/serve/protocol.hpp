@@ -21,7 +21,10 @@
 //   resume       {session: <flow.json payload>, target: "<stage>"}
 //                                            -> result like compile
 //   sta          {job: <FlowJob>}            -> result {metrics, sta}
-//   monte_carlo  {cell, trials, seed, threads} -> result {trials, ...}
+//   monte_carlo  {cell, trials, seed, threads} -> result {trials, ...,
+//                 mc: <MonteCarloResult>} — "mc" is the full serialized
+//                 result (per-trial histograms included) and dumps
+//                 byte-identical to a local run of the same parameters
 //   batch        {jobs: [<FlowJob>...], num_threads, fail_fast}
 //                                            -> result {report}
 //   gen          {gen: <GenOptions>, options: <FlowOptions>?,

@@ -440,6 +440,11 @@ json::Value Server::handle_monte_carlo(const Request& request) {
     result.set("stray_shorts", mc.stray_shorts);
     result.set("stray_chains", mc.stray_chains);
     result.set("yield", mc.yield());
+    // The full serialized result (histograms included), in exactly the
+    // shape `cnfetc monte-carlo` writes locally: a served run's "mc"
+    // object dumps byte-identical to a local run with the same
+    // (cell, trials, seed), which the CI smoke test compares.
+    result.set("mc", api::to_json(mc));
     return ok_response(request, std::move(result), {});
   });
 }

@@ -1,0 +1,45 @@
+// Fixed-width saturating count histograms for parallel tallies.
+//
+// The Monte Carlo engine folds per-trial integer counts (stray shorts,
+// stray chains per trial) into shared buckets from every pool worker.
+// Bucket increments are relaxed atomic adds — integer addition commutes,
+// so the final counts are identical for any thread count or schedule,
+// which is what keeps MonteCarloResult bit-identical serial vs threaded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cnfet::util {
+
+/// `buckets` counters; add(v) increments bucket min(max(v, 0), buckets-1),
+/// so the last bucket saturates and no value is ever dropped.
+class AtomicHistogram {
+ public:
+  explicit AtomicHistogram(int buckets)
+      : counts_(static_cast<std::size_t>(buckets > 0 ? buckets : 1)) {}
+
+  void add(std::int64_t value) {
+    std::size_t bucket = 0;
+    if (value > 0) {
+      bucket = static_cast<std::size_t>(value);
+      if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Plain-integer copy of the buckets (for results/serialization).
+  [[nodiscard]] std::vector<std::int64_t> counts() const {
+    std::vector<std::int64_t> out(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      out[i] = counts_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::atomic<std::int64_t>> counts_;
+};
+
+}  // namespace cnfet::util

@@ -569,6 +569,36 @@ TEST(FlowSession, CustomLibrarySessionIsRefusedNotSilentlyRebound) {
   EXPECT_NE(resumed.error().message.find("library"), std::string::npos);
 }
 
+TEST(Serialize, MonteCarloResultRoundTripsExactly) {
+  cnt::MonteCarloResult result;
+  result.trials = 100000;
+  result.failing_trials = 17;
+  result.tubes_sampled = 2400000;
+  result.stray_shorts = 12345;
+  result.stray_chains = 67890;
+  result.shorts_histogram.assign(cnt::MonteCarloResult::kHistogramBuckets, 0);
+  result.chains_histogram.assign(cnt::MonteCarloResult::kHistogramBuckets, 0);
+  result.shorts_histogram[0] = 99980;
+  result.shorts_histogram[3] = 20;
+  result.chains_histogram[1] = 50000;
+  result.chains_histogram[31] = 50000;  // saturated last bucket
+
+  const json::Value v = api::to_json(result);
+  // Through text and back: the served monte_carlo response embeds this
+  // object, and the CLI byte-compares served vs local dumps.
+  const auto back =
+      api::monte_carlo_result_from_json(json::parse(json::dump(v, 2)));
+  EXPECT_EQ(back.trials, result.trials);
+  EXPECT_EQ(back.failing_trials, result.failing_trials);
+  EXPECT_EQ(back.tubes_sampled, result.tubes_sampled);
+  EXPECT_EQ(back.stray_shorts, result.stray_shorts);
+  EXPECT_EQ(back.stray_chains, result.stray_chains);
+  EXPECT_EQ(back.shorts_histogram, result.shorts_histogram);
+  EXPECT_EQ(back.chains_histogram, result.chains_histogram);
+  EXPECT_DOUBLE_EQ(back.yield(), result.yield());
+  EXPECT_EQ(json::dump(api::to_json(back), 2), json::dump(v, 2));
+}
+
 TEST(FlowSession, ResumeRefusesMissingAndCorruptSessions) {
   EXPECT_FALSE(api::Flow::resume(temp_dir("empty_session")).ok());
 

@@ -29,6 +29,7 @@
 
 #include "api/batch.hpp"
 #include "api/serialize.hpp"
+#include "layout/cells.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 
@@ -53,6 +54,9 @@ void print_usage(std::FILE* out) {
       "  cnfetc resume DIR [--to STAGE] [--cache-dir DIR]\n"
       "                 [--server HOST:PORT]\n"
       "  cnfetc jobs --out JOBS.json [--tech T]... [--to STAGE]\n"
+      "  cnfetc monte-carlo --cell NAME [--trials N] [--seed S]\n"
+      "                 [--threads N] [--histogram] [--naive] [--out FILE]\n"
+      "                 [--server HOST:PORT]\n"
       "  cnfetc serve [--host H] [--port P] [--threads N]\n"
       "                 [--max-pending N] [--warm TECH]... [--no-warm]\n"
       "                 [--cache-dir DIR] [--port-file FILE]\n"
@@ -71,6 +75,11 @@ void print_usage(std::FILE* out) {
       "multiplier, or a seeded random DAG of --gates gates over --inputs\n"
       "primary inputs) and runs it through the flow like `compile` does —\n"
       "same session dir, same artifacts, locally or via --server.\n"
+      "`monte-carlo` samples mispositioned-CNT trials against one paper\n"
+      "cell (Figure 2's experiment at arbitrary scale): per-trial stray\n"
+      "short/chain histograms with --histogram, the full serialized result\n"
+      "as JSON with --out (byte-identical locally or via --server), and\n"
+      "the all-pairs reference tracer with --naive (A/B check; slower).\n"
       "`serve` starts the compile daemon (cnfetd in-process): it warms the\n"
       "library cache for every --warm tech (default: all) and serves\n"
       "compile/resume/sta/monte_carlo/batch requests over a line-delimited\n"
@@ -530,6 +539,122 @@ int cmd_batch(Args& args) {
   return report.num_failed() == 0 ? 0 : 1;
 }
 
+int cmd_monte_carlo(Args& args) {
+  const auto* cell = args.value_of("--cell");
+  if (cell == nullptr) return usage("monte-carlo requires --cell");
+  int trials = 100000;
+  if (const auto* t = args.value_of("--trials")) {
+    if (!parse_number(*t, &trials) || trials <= 0) {
+      return usage(("--trials is not a positive integer: " + *t).c_str());
+    }
+  }
+  std::uint64_t seed = 1;
+  if (const auto* s = args.value_of("--seed")) {
+    try {
+      std::size_t used = 0;
+      seed = std::stoull(*s, &used);
+      if (used != s->size()) throw std::invalid_argument(*s);
+    } catch (const std::exception&) {
+      return usage(("--seed is not a uint64: " + *s).c_str());
+    }
+  }
+  int threads = 1;
+  if (const auto* t = args.value_of("--threads")) {
+    if (!parse_number(*t, &threads)) {
+      return usage(("--threads is not an integer: " + *t).c_str());
+    }
+  }
+  const bool histogram = args.has_switch("--histogram");
+  const bool naive = args.has_switch("--naive");
+  const auto* out_file = args.value_of("--out");
+  const auto* server = args.value_of("--server");
+  if (server != nullptr && naive) {
+    return usage("--naive runs locally only (the daemon always uses the "
+                 "indexed tracer)");
+  }
+  if (const auto flag = args.unknown_flag(); !flag.empty()) {
+    return usage(("unknown flag " + flag).c_str());
+  }
+
+  // Either path produces the same serialized "mc" object for the same
+  // (cell, trials, seed): util::json round-trips are exact, so --out
+  // files from a local run and a served run compare byte-identical.
+  util::json::Value mc_json;
+  if (server != nullptr) {
+    auto client = serve::Client::connect(*server);
+    if (!client.ok()) {
+      std::fprintf(stderr, "cnfetc: %s\n", client.error().to_string().c_str());
+      return 1;
+    }
+    auto request = serve::make_request(serve::RequestKind::kMonteCarlo);
+    request.set("cell", *cell);
+    request.set("trials", trials);
+    request.set("seed", static_cast<std::int64_t>(seed));
+    request.set("threads", threads);
+    auto response = client.value().call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "cnfetc: %s\n",
+                   response.error().to_string().c_str());
+      return 1;
+    }
+    const auto diags = serve::response_diagnostics(response.value());
+    std::printf("%s", diags.to_string().c_str());
+    if (!response.value().get_bool("ok")) return 1;
+    const util::json::Value* result = response.value().find("result");
+    const util::json::Value* mc =
+        result != nullptr ? result->find("mc") : nullptr;
+    if (mc == nullptr) {
+      std::fprintf(stderr, "cnfetc: response carries no mc result\n");
+      return 1;
+    }
+    mc_json = *mc;
+  } else {
+    try {
+      const auto built = layout::build_cell(layout::find_cell_spec(*cell));
+      const auto mc = cnt::monte_carlo(
+          built.layout, built.netlist, built.function, cnt::TubeModel{},
+          trials, seed, threads,
+          naive ? cnt::TracerKind::kNaive : cnt::TracerKind::kIndexed);
+      mc_json = api::to_json(mc);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cnfetc: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  const auto mc = api::monte_carlo_result_from_json(mc_json);
+  std::printf("%s: %d trials, %d failing (yield %.6f), "
+              "%lld tubes, %lld stray shorts, %lld stray chains\n",
+              cell->c_str(), mc.trials, mc.failing_trials, mc.yield(),
+              static_cast<long long>(mc.tubes_sampled),
+              static_cast<long long>(mc.stray_shorts),
+              static_cast<long long>(mc.stray_chains));
+  if (histogram) {
+    std::printf("per-trial effect-count histograms "
+                "(last bucket saturates):\n");
+    std::printf("%8s %12s %12s\n", "count", "shorts", "chains");
+    for (std::size_t b = 0; b < mc.shorts_histogram.size(); ++b) {
+      const long long shorts = mc.shorts_histogram[b];
+      const long long chains =
+          b < mc.chains_histogram.size() ? mc.chains_histogram[b] : 0;
+      if (shorts == 0 && chains == 0) continue;
+      std::printf("%7zu%s %12lld %12lld\n", b,
+                  b + 1 == mc.shorts_histogram.size() ? "+" : " ", shorts,
+                  chains);
+    }
+  }
+  if (out_file != nullptr) {
+    std::ofstream out(*out_file, std::ios::binary | std::ios::trunc);
+    out << util::json::dump(mc_json, 2);
+    if (!out.good()) {
+      std::fprintf(stderr, "cnfetc: cannot write %s\n", out_file->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_file->c_str());
+  }
+  return 0;
+}
+
 int cmd_serve(Args& args) {
   apply_cache_dir(args);
   serve::DaemonOptions options;
@@ -621,6 +746,7 @@ int main(int argc, char** argv) {
   if (command == "batch") return cmd_batch(args);
   if (command == "resume") return cmd_resume(args);
   if (command == "jobs") return cmd_jobs(args);
+  if (command == "monte-carlo") return cmd_monte_carlo(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "ping") return cmd_ping(args);
   if (command == "stop") return cmd_stop(args);
