@@ -1,0 +1,212 @@
+// Wire-aware signoff bench: the grid router + Elmore extraction at the
+// paper's 13-gate full adder and at the 10k-gate at-scale tier.
+//
+// Workloads:
+//   * fa13   — the buffered full adder (9 NANDs + two 2-inverter output
+//     buffers = 13 gates): the paper-scale shape, timed over many reps
+//   * rca10k — a 1112-bit ripple-carry adder (10008 gates, ~12k nets):
+//     the structured at-scale shape (uniform-random DAGs have no
+//     locality, so their bisection width outgrows any fixed-layer
+//     fabric; routing targets structured designs, like real netlists)
+//
+// Per workload: total wirelength, nets/sec through route()+extract(),
+// and the routed-vs-ideal worst-arrival delta from re-timing with the
+// extracted wire loads. Hard gates (scripts/check_perf.py --only route):
+// 100% connectivity on both workloads, the independent open/short oracle
+// clean, the wire DRC deck clean, byte-determinism of a repeated route,
+// and routed timing never more optimistic than the ideal-net reference.
+//
+// Results merge into BENCH_perf.json as the "route" section (same
+// read-modify-write contract as bench_mc: existing sections are kept).
+//
+//   $ ./bench_route           # a few seconds; updates ./BENCH_perf.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/design_kit.hpp"
+#include "drc/drc.hpp"
+#include "gen/gen.hpp"
+#include "route/extract.hpp"
+#include "route/router.hpp"
+#include "sta/timing_graph.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace cnfet;
+namespace json = util::json;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double elapsed = ms_since(start);
+    if (elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+struct Workload {
+  const char* name;
+  flow::GateNetlist netlist;
+  int reps;
+};
+
+struct Measured {
+  std::size_t gates = 0;
+  int nets = 0;
+  double wirelength_lambda = 0.0;
+  double nets_per_sec = 0.0;
+  double ideal_ps = 0.0;
+  double routed_ps = 0.0;
+  bool complete = false;
+  bool verify_ok = false;
+  bool drc_clean = false;
+  bool deterministic = false;
+
+  [[nodiscard]] double wire_delay_ps() const { return routed_ps - ideal_ps; }
+};
+
+Measured measure(Workload& w, const layout::DesignRules& rules) {
+  Measured m;
+  m.gates = w.netlist.gates().size();
+  m.nets = w.netlist.num_nets();
+  const auto placement = flow::place(w.netlist);
+
+  const auto routing = route::route(w.netlist, placement, rules);
+  m.complete = routing.complete();
+  m.wirelength_lambda = routing.total_wirelength_lambda;
+  m.verify_ok = route::verify(w.netlist, placement, routing, rules).ok();
+  m.drc_clean = drc::check_routes(routing, rules).clean();
+  m.deterministic = route::route(w.netlist, placement, rules) == routing;
+
+  const auto extraction = route::extract(w.netlist, routing, rules);
+  sta::TimingGraph ideal(w.netlist);
+  sta::TimingGraph wired(w.netlist, {}, 0.0,
+                         extraction.to_wire_loads(w.netlist));
+  m.ideal_ps = ideal.worst_arrival() * 1e12;
+  m.routed_ps = wired.worst_arrival() * 1e12;
+
+  const double ms = best_ms(w.reps, [&] {
+    const auto r = route::route(w.netlist, placement, rules);
+    (void)route::extract(w.netlist, r, rules);
+  });
+  m.nets_per_sec = static_cast<double>(m.nets) / (ms / 1e3);
+  return m;
+}
+
+json::Value to_json(const Measured& m) {
+  json::Value v = json::Value::object();
+  v.set("gates", static_cast<std::int64_t>(m.gates));
+  v.set("nets", m.nets);
+  v.set("wirelength_lambda", m.wirelength_lambda);
+  v.set("nets_per_sec", m.nets_per_sec);
+  v.set("ideal_worst_arrival_ps", m.ideal_ps);
+  v.set("routed_worst_arrival_ps", m.routed_ps);
+  v.set("wire_delay_ps", m.wire_delay_ps());
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  static const core::DesignKit kit(layout::Tech::kCnfet65);
+  const auto& lib = kit.library();
+  const auto& rules = lib.cells().front().built.layout.rules();
+
+  flow::FullAdderOptions fa_opts;
+  fa_opts.sum_buffer_drive = 9.0;
+  fa_opts.carry_buffer_drive = 7.0;
+  Workload fa{"fa13", flow::build_full_adder(lib, fa_opts), 50};
+  gen::GenOptions rca;
+  rca.family = gen::Family::kRippleCarryAdder;
+  rca.width = 1112;  // 9 gates per full-adder bit: 10008 gates
+  Workload big{"rca10k", gen::generate(lib, rca).netlist, 3};
+
+  std::printf("%-7s | %7s %7s | %10s %12s | %8s %8s %8s\n", "design",
+              "gates", "nets", "wl lambda", "nets/sec", "ideal", "routed",
+              "+wire");
+  Measured results[2];
+  Workload* loads[2] = {&fa, &big};
+  for (int i = 0; i < 2; ++i) {
+    results[i] = measure(*loads[i], rules);
+    const auto& m = results[i];
+    std::printf(
+        "%-7s | %7zu %7d | %10.0f %12.0f | %6.2fps %6.2fps %6.2fps%s\n",
+        loads[i]->name, m.gates, m.nets, m.wirelength_lambda, m.nets_per_sec,
+        m.ideal_ps, m.routed_ps, m.wire_delay_ps(),
+        m.complete && m.verify_ok && m.drc_clean && m.deterministic
+            ? ""
+            : "  <-- GATE FAILURE");
+  }
+
+  const bool connectivity = results[0].complete && results[1].complete;
+  const bool verify_ok = results[0].verify_ok && results[1].verify_ok;
+  const bool drc_clean = results[0].drc_clean && results[1].drc_clean;
+  const bool deterministic =
+      results[0].deterministic && results[1].deterministic;
+  const bool never_faster = results[0].wire_delay_ps() >= 0.0 &&
+                            results[1].wire_delay_ps() >= 0.0;
+  const double min_nets_per_sec =
+      std::min(results[0].nets_per_sec, results[1].nets_per_sec);
+
+  // --- merge the "route" section into BENCH_perf.json -----------------------
+  const char* path = "BENCH_perf.json";
+  json::Value root = json::Value::object();
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        root = json::parse(text.str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "existing %s is unparseable (%s); rewriting\n",
+                     path, e.what());
+        root = json::Value::object();
+      }
+    }
+  }
+  json::Value route = json::Value::object();
+  route.set("fa13", to_json(results[0]));
+  route.set("rca10k", to_json(results[1]));
+  route.set("connectivity_complete", connectivity);
+  route.set("verify_ok", verify_ok);
+  route.set("drc_clean", drc_clean);
+  route.set("deterministic", deterministic);
+  route.set("routed_never_faster", never_faster);
+  route.set("min_nets_per_sec", min_nets_per_sec);
+  root.set("route", std::move(route));
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << json::dump(root, 2) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+  }
+  std::printf("\nmerged \"route\" into %s\n", path);
+
+  if (!connectivity || !verify_ok || !drc_clean || !deterministic ||
+      !never_faster) {
+    std::fprintf(stderr,
+                 "route bench hard failure (connectivity %d, verify %d, "
+                 "drc %d, deterministic %d, never_faster %d)\n",
+                 connectivity, verify_ok, drc_clean, deterministic,
+                 never_faster);
+    return 1;
+  }
+  return 0;
+}

@@ -24,9 +24,9 @@ The zero-allocation and bit-identity gates apply everywhere.
 
 Usage: python3 scripts/check_perf.py [BENCH_perf.json] [--only SECTION]
 
-`--only scale` / `--only scaling` / `--only mc` gate just that section —
-for CI jobs that run one bench alone and so produce a BENCH_perf.json
-without the other sections.
+`--only scale` / `--only scaling` / `--only mc` / `--only route` gate
+just that section — for CI jobs that run one bench alone and so produce
+a BENCH_perf.json without the other sections.
 """
 from __future__ import annotations
 
@@ -135,6 +135,23 @@ def check_mc(mc: dict, floors: dict) -> None:
     check_flag("mc.thread_invariant", mc["thread_invariant"])
 
 
+def check_route(route: dict, floors: dict) -> None:
+    """The wire-aware signoff section from bench_route.
+
+    Connectivity, the independent open/short oracle, the wire DRC deck,
+    byte-determinism of a repeated route, and routed-never-faster-than-
+    ideal are correctness contracts and gate everywhere, always. The
+    nets/sec floor is absolute and set well below a modest single core
+    (measured ~40-55k nets/sec through route()+extract() on both the
+    13-gate and 10k-gate workloads).
+    """
+    for flag in ["connectivity_complete", "verify_ok", "drc_clean",
+                 "deterministic", "routed_never_faster"]:
+        check_flag(f"route.{flag}", route[flag])
+    check_floor("route.min_nets_per_sec", route["min_nets_per_sec"],
+                floors["min_nets_per_sec"], unit="")
+
+
 def print_table() -> None:
     width = max(len(r[0]) for r in rows)
     for name, measured, floor, status in rows:
@@ -159,6 +176,8 @@ def main() -> int:
         check_scaling(bench["scaling"], baseline["scaling"])
     elif only == "mc":
         check_mc(bench["mc"], baseline["mc"])
+    elif only == "route":
+        check_route(bench["route"], baseline["route"])
     elif only is not None:
         print(f"FAIL: unknown --only section '{only}'")
         return 1
@@ -215,6 +234,8 @@ def main() -> int:
             check_scaling(bench["scaling"], baseline["scaling"])
         if "mc" in bench:
             check_mc(bench["mc"], baseline["mc"])
+        if "route" in bench:
+            check_route(bench["route"], baseline["route"])
 
     print_table()
     if failures:

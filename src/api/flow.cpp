@@ -11,6 +11,7 @@
 #include "flow/gds_export.hpp"
 #include "layout/cells.hpp"
 #include "logic/expr.hpp"
+#include "sta/timing_graph.hpp"
 #include "util/table.hpp"
 
 namespace cnfet::api {
@@ -355,8 +356,52 @@ util::Result<Stage> Flow::sign_off() {
                                                     : ", IMMUNITY GAPS")
                              : ""));
         signoff_ = std::move(artifact);
+        if (options_.route) {
+          if (auto failure = build_routed()) return failure;
+        }
         return std::nullopt;
       });
+}
+
+std::optional<util::Diagnostic> Flow::build_routed() {
+  RoutedArtifact artifact;
+  const layout::DesignRules& rules =
+      library_->cells().front().built.layout.rules();
+  artifact.routing = route::route(mapped_->map.netlist, placed_->placement,
+                                  rules, options_.route_opts);
+  if (!artifact.routing.complete()) {
+    return util::Diagnostic{
+        util::Severity::kError, "signoff",
+        std::to_string(artifact.routing.failed_nets) +
+            " net(s) failed to route even at the full-grid window"};
+  }
+  artifact.extraction =
+      route::extract(mapped_->map.netlist, artifact.routing, rules);
+  sta::TimingGraph wired(
+      mapped_->map.netlist, options_.sta, 0.0,
+      artifact.extraction.to_wire_loads(mapped_->map.netlist));
+  artifact.routed_timing = wired.to_sta_result();
+  // The ideal-net reference: the timing of the same netlist without wires
+  // (post-optimization when that stage ran enabled).
+  artifact.ideal_worst_arrival_s =
+      optimized_ ? optimized_->timing.worst_arrival
+                 : (timed_ ? timed_->timing.worst_arrival : 0.0);
+  const auto wire_drc = drc::check_routes(artifact.routing, rules);
+  artifact.wire_drc_violations = static_cast<int>(wire_drc.violations.size());
+  if (!wire_drc.clean()) {
+    diags_.warning("signoff", "routed wires: " + wire_drc.to_string());
+  }
+  diags_.info(
+      "signoff",
+      "routed " + std::to_string(artifact.routing.nets.size()) + " nets, " +
+          util::fmt_fixed(artifact.routing.total_wirelength_lambda, 0) +
+          " lambda of wire, " +
+          util::fmt_si(artifact.extraction.total_wire_cap_f, "F") +
+          " wire cap; worst arrival " +
+          util::fmt_si(artifact.ideal_worst_arrival_s, "s") + " ideal -> " +
+          util::fmt_si(artifact.routed_timing.worst_arrival, "s") + " routed");
+  routed_ = std::move(artifact);
+  return std::nullopt;
 }
 
 util::Result<Stage> Flow::export_design() {
@@ -364,8 +409,12 @@ util::Result<Stage> Flow::export_design() {
                  [&]() -> std::optional<util::Diagnostic> {
                    ExportedArtifact artifact;
                    artifact.top_name = options_.top_name;
-                   artifact.gds = flow::export_gds(placed_->placement,
-                                                   options_.top_name);
+                   artifact.gds =
+                       routed_ ? flow::export_gds(placed_->placement,
+                                                  options_.top_name,
+                                                  routed_->routing)
+                               : flow::export_gds(placed_->placement,
+                                                  options_.top_name);
                    diags_.info(
                        "export",
                        std::to_string(artifact.gds.structures.size()) +
@@ -471,6 +520,16 @@ FlowMetrics Flow::metrics() const {
     m.cells_signed_off = static_cast<int>(signoff_->cells.size());
     m.drc_violations = signoff_->total_drc_violations;
     m.all_immune = signoff_->all_immune;
+  }
+  if (routed_) {
+    m.routed = true;
+    m.total_wirelength = routed_->routing.total_wirelength_lambda;
+    m.wire_cap_ff = routed_->extraction.total_wire_cap_f * 1e15;
+    m.routed_worst_arrival_s = routed_->routed_timing.worst_arrival;
+    m.wire_delay_ps = (routed_->routed_timing.worst_arrival -
+                       routed_->ideal_worst_arrival_s) *
+                      1e12;
+    m.wire_drc_violations = routed_->wire_drc_violations;
   }
   if (exported_) {
     m.gds_structures = exported_->gds.structures.size();

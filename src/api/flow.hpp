@@ -29,6 +29,7 @@
 #include "flow/placer.hpp"
 #include "gds/gds.hpp"
 #include "opt/opt.hpp"
+#include "route/extract.hpp"
 #include "sta/sta.hpp"
 #include "util/json.hpp"
 #include "util/result.hpp"
@@ -88,6 +89,13 @@ struct FlowOptions {
   sta::StaOptions sta;
   flow::PlaceOptions place;
   drc::DrcOptions drc;
+  /// Wire-aware signoff: route the placed design on the metal2/metal3
+  /// grid, extract Elmore parasitics, re-time with wire loads and run the
+  /// wire DRC deck (all in the SignedOff stage), then export the routed
+  /// metal into the GDS. Off by default — the ideal-net flow stays the
+  /// A/B reference.
+  bool route = false;
+  route::RouteOptions route_opts;
   /// GDS top structure name.
   std::string top_name = "TOP";
   /// Pre-characterized library; null = fetch from LibraryCache::global().
@@ -150,6 +158,20 @@ struct SignOffArtifact {
   }
 };
 
+/// Stage artifact: wire-aware signoff (only with FlowOptions::route).
+/// Produced in the SignedOff stage alongside the cell checks: the routed
+/// wires, their extracted RC, the wire-loaded re-time and the wire DRC
+/// deck. The wire model only *adds* to the ideal one (wire cap on top of
+/// the per-fanout proxy, Elmore delay on top of the cell arcs), so
+/// routed_timing is never more optimistic than the ideal reference.
+struct RoutedArtifact {
+  route::RoutingResult routing;
+  route::Extraction extraction;
+  sta::StaResult routed_timing;        ///< STA with the extracted wire loads
+  double ideal_worst_arrival_s = 0.0;  ///< the ideal-net A/B reference
+  int wire_drc_violations = 0;
+};
+
 /// Stage artifact: the GDSII library (cell structures + top with SREFs).
 struct ExportedArtifact {
   gds::Library gds;
@@ -185,6 +207,13 @@ struct FlowMetrics {
   int cells_signed_off = 0;
   int drc_violations = 0;
   bool all_immune = false;
+  // Routed (FlowOptions::route; zero defaults otherwise)
+  bool routed = false;
+  double total_wirelength = 0.0;       ///< lambda of routed centerline
+  double wire_cap_ff = 0.0;            ///< total extracted wire cap
+  double wire_delay_ps = 0.0;          ///< routed minus ideal worst arrival
+  double routed_worst_arrival_s = 0.0;
+  int wire_drc_violations = 0;
   // Exported
   std::size_t gds_structures = 0;
 };
@@ -252,12 +281,19 @@ class Flow {
   [[nodiscard]] const SignOffArtifact* signed_off() const {
     return signoff_ ? &*signoff_ : nullptr;
   }
+  [[nodiscard]] const RoutedArtifact* routed() const {
+    return routed_ ? &*routed_ : nullptr;
+  }
   [[nodiscard]] const ExportedArtifact* exported() const {
     return exported_ ? &*exported_ : nullptr;
   }
 
   /// The design netlist (valid from stage Mapped onward).
   [[nodiscard]] util::Result<const flow::GateNetlist*> netlist() const;
+
+  /// Flips the routing knob on a flow that has not signed off yet (the
+  /// compile server's resume-with-route request); no effect afterwards.
+  void set_route(bool on) { options_.route = on; }
 
   /// Writes the exported GDS stream to `path`; returns the path.
   [[nodiscard]] util::Result<std::string> write_gds(
@@ -306,6 +342,11 @@ class Flow {
   util::Result<Stage> advance(Stage required, Stage next,
                               const char* stage_name, Body&& body);
 
+  /// Routes, extracts, re-times with wire loads and runs the wire DRC deck
+  /// over the placed design — shared by sign_off() and session resume.
+  /// Returns the failure diagnostic, or nullopt on success.
+  std::optional<util::Diagnostic> build_routed();
+
   std::string name_;
   FlowOptions options_;
   LibraryHandle library_;
@@ -321,6 +362,7 @@ class Flow {
   std::optional<OptimizedArtifact> optimized_;
   std::optional<PlacedArtifact> placed_;
   std::optional<SignOffArtifact> signoff_;
+  std::optional<RoutedArtifact> routed_;
   std::optional<ExportedArtifact> exported_;
 };
 

@@ -206,6 +206,12 @@ json::Value design_rules_to_json(const layout::DesignRules& r) {
   v.set("pun_pdn_gap", r.pun_pdn_gap);
   v.set("strip_lane", r.strip_lane);
   v.set("cell_margin", r.cell_margin);
+  v.set("wire_width", r.wire_width);
+  v.set("wire_spacing", r.wire_spacing);
+  v.set("route_pitch", r.route_pitch);
+  v.set("wire_sheet_res", r.wire_sheet_res);
+  v.set("wire_cap_per_lambda", r.wire_cap_per_lambda);
+  v.set("via_res", r.via_res);
   v.set("tech", layout::to_string(r.tech));
   return v;
 }
@@ -225,6 +231,12 @@ layout::DesignRules design_rules_from_json(const json::Value& v) {
   r.pun_pdn_gap = v.get_double("pun_pdn_gap");
   r.strip_lane = v.get_double("strip_lane");
   r.cell_margin = v.get_double("cell_margin");
+  r.wire_width = v.get_double("wire_width");
+  r.wire_spacing = v.get_double("wire_spacing");
+  r.route_pitch = v.get_double("route_pitch");
+  r.wire_sheet_res = v.get_double("wire_sheet_res");
+  r.wire_cap_per_lambda = v.get_double("wire_cap_per_lambda");
+  r.via_res = v.get_double("via_res");
   auto tech = tech_from_string(v.get_string("tech"));
   if (!tech.ok()) throw util::Error(tech.error().message);
   r.tech = tech.value();
@@ -492,6 +504,97 @@ flow::PlacementResult placement_from_json(const json::Value& v,
   return placement;
 }
 
+// --- route::RoutingResult ---------------------------------------------------
+// Wires and vias are flat int64 rows ([layer, ax, ay, bx, by, width] /
+// [x, y, size]) rather than keyed objects: a 10k-gate design carries tens
+// of thousands of segments, and repeating keys would dominate the file.
+
+json::Value to_json(const route::RoutingResult& routing) {
+  json::Value v = json::Value::object();
+  json::Value nets = json::Value::array();
+  for (const auto& rn : routing.nets) {
+    json::Value n = json::Value::object();
+    n.set("net", rn.net);
+    json::Value terminals = json::Value::array();
+    for (const auto& t : rn.terminals) {
+      json::Value row = json::Value::array();
+      row.push_back(json::Value(t.x));
+      row.push_back(json::Value(t.y));
+      terminals.push_back(std::move(row));
+    }
+    n.set("terminals", std::move(terminals));
+    json::Value wires = json::Value::array();
+    for (const auto& w : rn.wires) {
+      json::Value row = json::Value::array();
+      row.push_back(json::Value(static_cast<std::int64_t>(w.layer)));
+      row.push_back(json::Value(w.a.x));
+      row.push_back(json::Value(w.a.y));
+      row.push_back(json::Value(w.b.x));
+      row.push_back(json::Value(w.b.y));
+      row.push_back(json::Value(w.width));
+      wires.push_back(std::move(row));
+    }
+    n.set("wires", std::move(wires));
+    json::Value vias = json::Value::array();
+    for (const auto& via : rn.vias) {
+      json::Value row = json::Value::array();
+      row.push_back(json::Value(via.at.x));
+      row.push_back(json::Value(via.at.y));
+      row.push_back(json::Value(via.size));
+      vias.push_back(std::move(row));
+    }
+    n.set("vias", std::move(vias));
+    n.set("length_lambda", rn.length_lambda);
+    nets.push_back(std::move(n));
+  }
+  v.set("nets", std::move(nets));
+  v.set("pitch", routing.pitch);
+  json::Value bbox = json::Value::object();
+  bbox.set("lo_x", routing.grid_bbox.lo().x);
+  bbox.set("lo_y", routing.grid_bbox.lo().y);
+  bbox.set("hi_x", routing.grid_bbox.hi().x);
+  bbox.set("hi_y", routing.grid_bbox.hi().y);
+  v.set("grid_bbox", std::move(bbox));
+  v.set("total_wirelength_lambda", routing.total_wirelength_lambda);
+  v.set("failed_nets", routing.failed_nets);
+  return v;
+}
+
+route::RoutingResult routing_result_from_json(const json::Value& v) {
+  route::RoutingResult routing;
+  for (const auto& n : v.at("nets").items()) {
+    route::RoutedNet rn;
+    rn.net = n.get_int("net");
+    for (const auto& row : n.at("terminals").items()) {
+      rn.terminals.push_back({row.at(0).as_int64(), row.at(1).as_int64()});
+    }
+    for (const auto& row : n.at("wires").items()) {
+      route::Wire w;
+      w.layer = row.at(0).as_int();
+      w.a = {row.at(1).as_int64(), row.at(2).as_int64()};
+      w.b = {row.at(3).as_int64(), row.at(4).as_int64()};
+      w.width = row.at(5).as_int64();
+      rn.wires.push_back(w);
+    }
+    for (const auto& row : n.at("vias").items()) {
+      route::Via via;
+      via.at = {row.at(0).as_int64(), row.at(1).as_int64()};
+      via.size = row.at(2).as_int64();
+      rn.vias.push_back(via);
+    }
+    rn.length_lambda = n.get_double("length_lambda");
+    routing.nets.push_back(std::move(rn));
+  }
+  routing.pitch = v.get_int64("pitch");
+  const auto& bbox = v.at("grid_bbox");
+  routing.grid_bbox =
+      geom::Rect({bbox.get_int64("lo_x"), bbox.get_int64("lo_y")},
+                 {bbox.get_int64("hi_x"), bbox.get_int64("hi_y")});
+  routing.total_wirelength_lambda = v.get_double("total_wirelength_lambda");
+  routing.failed_nets = v.get_int("failed_nets");
+  return routing;
+}
+
 // --- FlowOptions ------------------------------------------------------------
 
 json::Value to_json(const FlowOptions& options) {
@@ -524,6 +627,10 @@ json::Value to_json(const FlowOptions& options) {
     drc.set("deck", design_rules_to_json(*options.drc.deck));
   }
   v.set("drc", std::move(drc));
+  v.set("route", options.route);
+  json::Value route = json::Value::object();
+  route.set("window_halo_cells", options.route_opts.window_halo_cells);
+  v.set("route_opts", std::move(route));
   v.set("top_name", options.top_name);
   return v;
 }
@@ -554,6 +661,9 @@ FlowOptions flow_options_from_json(const json::Value& v) {
   if (const auto* deck = drc.find("deck")) {
     options.drc.deck = design_rules_from_json(*deck);
   }
+  options.route = v.get_bool("route");
+  options.route_opts.window_halo_cells =
+      v.at("route_opts").get_int("window_halo_cells");
   options.top_name = v.get_string("top_name");
   return options;
 }
@@ -585,6 +695,12 @@ json::Value to_json(const FlowMetrics& m) {
   v.set("cells_signed_off", m.cells_signed_off);
   v.set("drc_violations", m.drc_violations);
   v.set("all_immune", m.all_immune);
+  v.set("routed", m.routed);
+  v.set("total_wirelength", m.total_wirelength);
+  v.set("wire_cap_ff", m.wire_cap_ff);
+  v.set("wire_delay_ps", m.wire_delay_ps);
+  v.set("routed_worst_arrival_s", m.routed_worst_arrival_s);
+  v.set("wire_drc_violations", m.wire_drc_violations);
   v.set("gds_structures", m.gds_structures);
   return v;
 }
@@ -616,6 +732,12 @@ FlowMetrics flow_metrics_from_json(const json::Value& v) {
   m.cells_signed_off = v.get_int("cells_signed_off");
   m.drc_violations = v.get_int("drc_violations");
   m.all_immune = v.get_bool("all_immune");
+  m.routed = v.get_bool("routed");
+  m.total_wirelength = v.get_double("total_wirelength");
+  m.wire_cap_ff = v.get_double("wire_cap_ff");
+  m.wire_delay_ps = v.get_double("wire_delay_ps");
+  m.routed_worst_arrival_s = v.get_double("routed_worst_arrival_s");
+  m.wire_drc_violations = v.get_int("wire_drc_violations");
   m.gds_structures = static_cast<std::size_t>(v.get_int64("gds_structures"));
   return m;
 }
@@ -1003,6 +1125,17 @@ util::Result<util::json::Value> Flow::session_json() const {
       s.set("all_immune", signoff_->all_immune);
       payload.set("signoff", std::move(s));
     }
+    if (routed_) {
+      // The extraction is NOT stored: it is a cheap pure function of the
+      // routing + design rules, recomputed exactly on resume. The routed
+      // timing travels so resume needs no STA re-run.
+      json::Value r = json::Value::object();
+      r.set("routing", to_json(routed_->routing));
+      r.set("routed_timing", to_json(routed_->routed_timing));
+      r.set("ideal_worst_arrival_s", routed_->ideal_worst_arrival_s);
+      r.set("wire_drc_violations", routed_->wire_drc_violations);
+      payload.set("routed", std::move(r));
+    }
     // The Exported artifact is not stored: it is a pure function of the
     // saved placement and top name, and resume() regenerates the identical
     // GDS stream from them (proven by the round-trip golden test).
@@ -1101,6 +1234,20 @@ util::Result<Flow> Flow::resume_json(const json::Value& payload,
       signoff.all_immune = s->get_bool("all_immune");
       flow.signoff_ = std::move(signoff);
     }
+    if (const auto* r = payload.find("routed")) {
+      if (!flow.mapped_) {
+        throw util::Error("routed artifact without a mapped netlist");
+      }
+      RoutedArtifact routed;
+      routed.routing = routing_result_from_json(r->at("routing"));
+      routed.extraction = route::extract(
+          flow.mapped_->map.netlist, routed.routing,
+          flow.library_->cells().front().built.layout.rules());
+      routed.routed_timing = sta_result_from_json(r->at("routed_timing"));
+      routed.ideal_worst_arrival_s = r->get_double("ideal_worst_arrival_s");
+      routed.wire_drc_violations = r->get_int("wire_drc_violations");
+      flow.routed_ = std::move(routed);
+    }
     if (flow.stage_ == Stage::kExported) {
       if (!flow.placed_) {
         throw util::Error("exported flow without a placed artifact");
@@ -1108,7 +1255,10 @@ util::Result<Flow> Flow::resume_json(const json::Value& payload,
       ExportedArtifact exported;
       exported.top_name = flow.options_.top_name;
       exported.gds =
-          flow::export_gds(flow.placed_->placement, exported.top_name);
+          flow.routed_
+              ? flow::export_gds(flow.placed_->placement, exported.top_name,
+                                 flow.routed_->routing)
+              : flow::export_gds(flow.placed_->placement, exported.top_name);
       flow.exported_ = std::move(exported);
     }
     // Cheap shape invariants: a resumed flow must have exactly the
@@ -1121,7 +1271,10 @@ util::Result<Flow> Flow::resume_json(const json::Value& payload,
             !!flow.optimized_ ||
         (stage_index >= index_of_stage(Stage::kPlaced)) != !!flow.placed_ ||
         (stage_index >= index_of_stage(Stage::kSignedOff)) !=
-            !!flow.signoff_) {
+            !!flow.signoff_ ||
+        (flow.options_.route &&
+         stage_index >= index_of_stage(Stage::kSignedOff)) !=
+            !!flow.routed_) {
       throw util::Error("artifacts do not match the saved stage " +
                         std::string(to_string(flow.stage_)));
     }

@@ -71,6 +71,13 @@ inline constexpr int kSchemaVersion = 1;
 [[nodiscard]] flow::PlacementResult placement_from_json(
     const util::json::Value& v, const flow::GateNetlist& netlist);
 
+/// Routed wires and vias, exact to the database unit; the round-trip
+/// reproduces an operator==-equal RoutingResult (and therefore identical
+/// routed GDS bytes).
+[[nodiscard]] util::json::Value to_json(const route::RoutingResult& routing);
+[[nodiscard]] route::RoutingResult routing_result_from_json(
+    const util::json::Value& v);
+
 [[nodiscard]] util::json::Value to_json(const FlowOptions& options);
 [[nodiscard]] FlowOptions flow_options_from_json(const util::json::Value& v);
 

@@ -1,5 +1,6 @@
 #include "drc/drc.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cnfet::drc {
@@ -29,6 +30,12 @@ const char* to_string(RuleId rule) {
       return "via.on_gate";
     case RuleId::kPinMinSize:
       return "pin.min_size";
+    case RuleId::kWireMinWidth:
+      return "wire.min_width";
+    case RuleId::kWireSpacing:
+      return "wire.spacing";
+    case RuleId::kWireShort:
+      return "wire.short";
   }
   return "?";
 }
@@ -152,6 +159,86 @@ DrcReport check(const layout::CellLayout& cell, const DrcOptions& options) {
           Violation{RuleId::kPinMinSize, "pin " + pin.name, pin.rect});
     }
   }
+  return report;
+}
+
+namespace {
+
+/// One drawn shape of the routed design, flattened for the wire deck.
+struct RouteShape {
+  int net = 0;
+  Rect rect;
+  bool is_via = false;  ///< exempt from the spacing rule, not from shorts
+};
+
+/// Sweep one layer's shapes for spacing/short violations. `key` projects
+/// the sweep axis (the axis *across* the layer's preferred direction, so a
+/// shape's key interval stays narrow and the scan window small).
+template <typename KeyLo, typename KeyHi>
+void sweep_layer(std::vector<RouteShape>& shapes, Coord spacing,
+                 KeyLo key_lo, KeyHi key_hi, const std::string& layer_name,
+                 DrcReport& report) {
+  std::sort(shapes.begin(), shapes.end(),
+            [&](const RouteShape& a, const RouteShape& b) {
+              return key_lo(a.rect) < key_lo(b.rect);
+            });
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    for (std::size_t j = i + 1; j < shapes.size(); ++j) {
+      if (key_lo(shapes[j].rect) > key_hi(shapes[i].rect) + spacing) break;
+      if (shapes[i].net == shapes[j].net) continue;
+      if (shapes[i].rect.touches(shapes[j].rect)) {
+        report.violations.push_back(Violation{
+            RuleId::kWireShort,
+            "nets " + std::to_string(shapes[i].net) + " and " +
+                std::to_string(shapes[j].net) + " touch on " + layer_name,
+            shapes[i].rect});
+      } else if (!shapes[i].is_via && !shapes[j].is_via &&
+                 shapes[i].rect.expanded(spacing).overlaps(shapes[j].rect)) {
+        report.violations.push_back(Violation{
+            RuleId::kWireSpacing,
+            "nets " + std::to_string(shapes[i].net) + " and " +
+                std::to_string(shapes[j].net) + " below wire spacing on " +
+                layer_name,
+            shapes[i].rect});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DrcReport check_routes(const route::RoutingResult& routing,
+                       const layout::DesignRules& rules) {
+  DrcReport report;
+  const Coord min_width = rules.db(rules.wire_width);
+  const Coord spacing = rules.db(rules.wire_spacing);
+
+  // Flatten per layer. metal2 (layer 0) is horizontal-preferred, so its
+  // sweep axis is y (narrow per shape); metal3 sweeps in x. Vias land on
+  // both layers.
+  std::vector<RouteShape> layer0;
+  std::vector<RouteShape> layer1;
+  for (const auto& rn : routing.nets) {
+    for (const auto& w : rn.wires) {
+      if (w.width < min_width) {
+        report.violations.push_back(Violation{
+            RuleId::kWireMinWidth,
+            "net " + std::to_string(rn.net) + " wire below minimum width",
+            w.rect()});
+      }
+      (w.layer == 0 ? layer0 : layer1).push_back({rn.net, w.rect(), false});
+    }
+    for (const auto& v : rn.vias) {
+      layer0.push_back({rn.net, v.rect(), true});
+      layer1.push_back({rn.net, v.rect(), true});
+    }
+  }
+  sweep_layer(
+      layer0, spacing, [](const Rect& r) { return r.lo().y; },
+      [](const Rect& r) { return r.hi().y; }, "metal2", report);
+  sweep_layer(
+      layer1, spacing, [](const Rect& r) { return r.lo().x; },
+      [](const Rect& r) { return r.hi().x; }, "metal3", report);
   return report;
 }
 

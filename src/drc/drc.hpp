@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "layout/cell_layout.hpp"
+#include "route/router.hpp"
 
 namespace cnfet::drc {
 
@@ -24,6 +25,9 @@ enum class RuleId {
   kBandSeparation,    ///< PUN/PDN CNT bands must not touch
   kViaOnGate,         ///< vertical gating is not manufacturable
   kPinMinSize,
+  kWireMinWidth,      ///< routed wire below DesignRules::wire_width
+  kWireSpacing,       ///< same-layer wires of distinct nets too close
+  kWireShort,         ///< shapes of distinct nets touching on one layer
 };
 
 [[nodiscard]] const char* to_string(RuleId rule);
@@ -52,5 +56,13 @@ struct DrcOptions {
 
 [[nodiscard]] DrcReport check(const layout::CellLayout& cell,
                               const DrcOptions& options = {});
+
+/// Wire deck over a routed design: every drawn wire at least wire_width
+/// wide; same-layer wires of distinct nets at least wire_spacing apart
+/// (vias are exempt from the spacing rule — on the standard pitch their
+/// slightly-larger landing pads legally sit closer than wire_spacing —
+/// but not from shorts); no touching metal between distinct nets.
+[[nodiscard]] DrcReport check_routes(const route::RoutingResult& routing,
+                                     const layout::DesignRules& rules);
 
 }  // namespace cnfet::drc

@@ -34,4 +34,24 @@ gds::Library export_gds(const PlacementResult& placement,
   return lib;
 }
 
+gds::Library export_gds(const PlacementResult& placement,
+                        const std::string& top_name,
+                        const route::RoutingResult& routing) {
+  gds::Library lib = export_gds(placement, top_name);
+  // The top structure is the last one pushed; draw the routed metal into
+  // it so the wires sit over the placed cell references.
+  gds::Structure& top = lib.structures.back();
+  const layout::LayerMap layers;
+  for (const auto& rn : routing.nets) {
+    for (const auto& w : rn.wires) {
+      top.boundaries.push_back(gds::Boundary::rect(
+          w.layer == 0 ? layers.metal2 : layers.metal3, w.rect()));
+    }
+    for (const auto& v : rn.vias) {
+      top.boundaries.push_back(gds::Boundary::rect(layers.via23, v.rect()));
+    }
+  }
+  return lib;
+}
+
 }  // namespace cnfet::flow

@@ -7,10 +7,19 @@
 
 #include "flow/placer.hpp"
 #include "gds/gds.hpp"
+#include "route/router.hpp"
 
 namespace cnfet::flow {
 
+/// Placement-only export (ideal-net flows and the pre-route stages).
 [[nodiscard]] gds::Library export_gds(const PlacementResult& placement,
                                       const std::string& top_name);
+
+/// Routed export: the placement structures plus the routed wires drawn
+/// into the top structure — metal2/metal3 for the two routing layers and
+/// via23 for the layer changes (layout::LayerMap assignments).
+[[nodiscard]] gds::Library export_gds(const PlacementResult& placement,
+                                      const std::string& top_name,
+                                      const route::RoutingResult& routing);
 
 }  // namespace cnfet::flow

@@ -47,7 +47,10 @@ struct LayerMap {
   std::int16_t etch = 5;     ///< etched (CNT-free) slot
   std::int16_t pdope = 6;
   std::int16_t ndope = 7;
+  std::int16_t metal2 = 8;   ///< routed wires, horizontal-preferred
+  std::int16_t metal3 = 9;   ///< routed wires, vertical-preferred
   std::int16_t pin_text = 10;
+  std::int16_t via23 = 11;   ///< metal2-metal3 via
 };
 
 /// A fully assembled cell layout.

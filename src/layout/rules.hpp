@@ -48,6 +48,26 @@ struct DesignRules {
   /// Margin from any shape to the cell boundary.
   double cell_margin = 2.0;
 
+  // --- routing-layer rules (metal2/metal3 over the cells), in lambda ---
+  /// Drawn width of a routed wire.
+  double wire_width = 2.0;
+  /// Minimum spacing between routed wires of distinct nets.
+  double wire_spacing = 2.0;
+  /// Routing-grid track pitch. With wire_width + wire_spacing tracks,
+  /// adjacent grid tracks clear the spacing rule by construction.
+  double route_pitch = 4.0;
+
+  // --- extraction constants (the Elmore wire model) ---
+  /// Sheet resistance of the routing metal, ohm/square. A wire segment of
+  /// length L and width wire_width contributes
+  /// wire_sheet_res * L / wire_width ohms.
+  double wire_sheet_res = 0.15;
+  /// Wire capacitance to ground per lambda of routed length, F. At the
+  /// 65nm node (~0.2 fF/um, lambda = 32.5nm) this is ~6.5 aF/lambda.
+  double wire_cap_per_lambda = 6.5e-18;
+  /// Resistance of one metal2-metal3 via, ohm.
+  double via_res = 1.5;
+
   Tech tech = Tech::kCnfet65;
 
   /// CNFET rules: symmetric n/p devices, pin-limited 6-lambda strip gap.

@@ -1,0 +1,173 @@
+#include "route/extract.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace cnfet::route {
+
+namespace {
+
+/// Node key in the rebuilt RC graph: a grid point on one layer.
+struct NodeKey {
+  geom::Vec2 at;
+  int layer = 0;
+  auto operator<=>(const NodeKey&) const = default;
+};
+
+struct RcEdge {
+  int other = -1;
+  double res = 0.0;
+};
+
+}  // namespace
+
+Extraction extract(const flow::GateNetlist& netlist,
+                   const RoutingResult& routing,
+                   const layout::DesignRules& rules) {
+  Extraction out;
+  const geom::Coord pitch = routing.pitch;
+  const double step_res =
+      rules.wire_sheet_res * rules.route_pitch / rules.wire_width;
+  const double step_cap = rules.wire_cap_per_lambda * rules.route_pitch;
+
+  std::map<NodeKey, int> node_of;
+  std::vector<double> cap;
+  std::vector<std::vector<RcEdge>> adj;
+  std::vector<double> delay;
+  std::vector<double> subtree_cap;
+  std::vector<int> order;
+  std::vector<int> parent;
+  std::vector<double> parent_res;
+
+  for (const auto& rn : routing.nets) {
+    NetExtraction ext;
+    ext.net = rn.net;
+    ext.length_lambda = rn.length_lambda;
+    ext.wire_cap_f = rn.length_lambda * rules.wire_cap_per_lambda;
+
+    node_of.clear();
+    cap.clear();
+    adj.clear();
+    const auto node = [&](geom::Vec2 at, int layer) {
+      auto [it, inserted] =
+          node_of.try_emplace(NodeKey{at, layer}, static_cast<int>(cap.size()));
+      if (inserted) {
+        cap.push_back(0.0);
+        adj.emplace_back();
+      }
+      return it->second;
+    };
+    const auto connect = [&](int a, int b, double res) {
+      adj[static_cast<std::size_t>(a)].push_back({b, res});
+      adj[static_cast<std::size_t>(b)].push_back({a, res});
+    };
+    // Re-discretize each wire into pitch-length steps so every grid node
+    // the wire crosses becomes an RC node; vias and crossing wires of the
+    // same net then join up by key identity.
+    for (const auto& w : rn.wires) {
+      const bool horizontal = w.a.y == w.b.y;
+      const geom::Coord span = horizontal ? w.b.x - w.a.x : w.b.y - w.a.y;
+      const auto steps = static_cast<int>(span / pitch);
+      int prev = node(w.a, w.layer);
+      for (int s = 1; s <= steps; ++s) {
+        const geom::Vec2 at = horizontal
+                                  ? geom::Vec2{w.a.x + pitch * s, w.a.y}
+                                  : geom::Vec2{w.a.x, w.a.y + pitch * s};
+        const int cur = node(at, w.layer);
+        connect(prev, cur, step_res);
+        cap[static_cast<std::size_t>(prev)] += step_cap / 2;
+        cap[static_cast<std::size_t>(cur)] += step_cap / 2;
+        prev = cur;
+      }
+    }
+    for (const auto& v : rn.vias) {
+      connect(node(v.at, 0), node(v.at, 1), rules.via_res);
+    }
+
+    // Elmore over the tree: BFS from the root terminal, subtree caps
+    // accumulated in reverse visit order, then delay[child] =
+    // delay[parent] + R_edge * subtree_cap[child].
+    const int n = static_cast<int>(cap.size());
+    delay.assign(static_cast<std::size_t>(n), 0.0);
+    if (n > 0 && !rn.terminals.empty()) {
+      const auto root_it = node_of.find(NodeKey{rn.terminals.front(), 0});
+      if (root_it != node_of.end()) {
+        const int root = root_it->second;
+        parent.assign(static_cast<std::size_t>(n), -2);
+        parent_res.assign(static_cast<std::size_t>(n), 0.0);
+        order.clear();
+        order.push_back(root);
+        parent[static_cast<std::size_t>(root)] = -1;
+        for (std::size_t head = 0; head < order.size(); ++head) {
+          const int u = order[head];
+          for (const auto& e : adj[static_cast<std::size_t>(u)]) {
+            if (parent[static_cast<std::size_t>(e.other)] != -2) continue;
+            parent[static_cast<std::size_t>(e.other)] = u;
+            parent_res[static_cast<std::size_t>(e.other)] = e.res;
+            order.push_back(e.other);
+          }
+        }
+        subtree_cap = cap;
+        for (std::size_t i = order.size(); i-- > 1;) {
+          const int u = order[i];
+          subtree_cap[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(u)])] +=
+              subtree_cap[static_cast<std::size_t>(u)];
+        }
+        for (std::size_t i = 1; i < order.size(); ++i) {
+          const int u = order[i];
+          delay[static_cast<std::size_t>(u)] =
+              delay[static_cast<std::size_t>(
+                  parent[static_cast<std::size_t>(u)])] +
+              parent_res[static_cast<std::size_t>(u)] *
+                  subtree_cap[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+
+    // Per-sink delays in fanout order. With a driver, terminals[0] is the
+    // root and terminals[1..] are the sinks; primary-input nets have no
+    // driver terminal, so the sinks start at terminals[0].
+    const std::size_t first_sink =
+        netlist.driver_index(rn.net) >= 0 ? 1 : 0;
+    for (std::size_t t = first_sink; t < rn.terminals.size(); ++t) {
+      double d = 0.0;
+      const auto it = node_of.find(NodeKey{rn.terminals[t], 0});
+      if (it != node_of.end()) {
+        d = delay[static_cast<std::size_t>(it->second)];
+      }
+      ext.sink_elmore_s.push_back(d);
+    }
+
+    out.total_wire_cap_f += ext.wire_cap_f;
+    out.nets.push_back(std::move(ext));
+  }
+  return out;
+}
+
+sta::WireLoads Extraction::to_wire_loads(
+    const flow::GateNetlist& netlist) const {
+  sta::WireLoads loads;
+  loads.enabled = true;
+  loads.net_cap.assign(static_cast<std::size_t>(netlist.num_nets()), 0.0);
+  loads.pin_delay.resize(netlist.gates().size());
+  for (std::size_t g = 0; g < netlist.gates().size(); ++g) {
+    loads.pin_delay[g].assign(netlist.gates()[g].inputs.size(), 0.0);
+  }
+  for (const auto& ext : nets) {
+    if (ext.net < 0 || ext.net >= netlist.num_nets()) continue;
+    loads.net_cap[static_cast<std::size_t>(ext.net)] = ext.wire_cap_f;
+    const auto& fanout = netlist.fanout(ext.net);
+    for (std::size_t k = 0; k < fanout.size() && k < ext.sink_elmore_s.size();
+         ++k) {
+      const auto [gate, pin] = fanout[k];
+      loads.pin_delay[static_cast<std::size_t>(gate)]
+                     [static_cast<std::size_t>(pin)] = ext.sink_elmore_s[k];
+    }
+  }
+  return loads;
+}
+
+}  // namespace cnfet::route

@@ -1,0 +1,45 @@
+// Elmore RC extraction over routed nets.
+//
+// Each routed tree is re-discretized into an RC ladder at the grid pitch:
+// every pitch-length wire step contributes a series resistance of
+// wire_sheet_res * route_pitch / wire_width and a ground capacitance of
+// wire_cap_per_lambda * route_pitch (split half to each endpoint); a via
+// contributes via_res and no cap. Delay to each sink is the classic Elmore
+// sum over the path from the root (the driver's terminal): for every edge
+// on the path, R_edge times the total capacitance of the subtree behind it.
+// The per-sink results align with flow::GateNetlist::fanout(net) order, so
+// the timing graph can index them by (gate, pin) directly.
+#pragma once
+
+#include <vector>
+
+#include "route/router.hpp"
+#include "sta/sta.hpp"
+
+namespace cnfet::route {
+
+/// RC summary of one routed net.
+struct NetExtraction {
+  int net = -1;
+  double wire_cap_f = 0.0;      ///< total wire capacitance to ground
+  double length_lambda = 0.0;   ///< routed centerline length
+  /// Elmore delay from the net's root to each sink pin, seconds, one entry
+  /// per netlist.fanout(net) pair in that canonical order.
+  std::vector<double> sink_elmore_s;
+};
+
+struct Extraction {
+  std::vector<NetExtraction> nets;  ///< one entry per routing.nets entry
+  double total_wire_cap_f = 0.0;
+
+  /// Repackages the extraction as the timing graph's wire-load view:
+  /// per-net added capacitance and per-(gate, input pin) wire delay.
+  [[nodiscard]] sta::WireLoads to_wire_loads(
+      const flow::GateNetlist& netlist) const;
+};
+
+[[nodiscard]] Extraction extract(const flow::GateNetlist& netlist,
+                                 const RoutingResult& routing,
+                                 const layout::DesignRules& rules);
+
+}  // namespace cnfet::route

@@ -348,6 +348,11 @@ json::Value Server::handle_resume(const Request& request) {
       diags.add(flow.error());
       return error_response(to_string(request.kind), request.id, diags);
     }
+    // Optional routing override (cnfetc resume --route): flips the knob
+    // before the remaining stages run, same as the local path.
+    if (const json::Value* r = request.payload.find("route")) {
+      flow.value().set_route(r->as_bool());
+    }
     const api::Stage target =
         target_from(request.payload, api::Stage::kExported);
     return finish_flow_request(request, flow.value(), target);

@@ -19,6 +19,31 @@ struct StaOptions {
   double output_load = 2e-15;         ///< F at primary outputs
 };
 
+/// Extracted wire parasitics in the shape the timing graph consumes: added
+/// ground capacitance per net plus an Elmore wire delay per (gate, input
+/// pin), on top of the ideal per-fanout proxy cap — so a wire-loaded run is
+/// never more optimistic than the ideal one. Out-of-range reads return
+/// zero: optimization passes may append gates/nets the wire model has never
+/// seen, and those default to ideal.
+struct WireLoads {
+  bool enabled = false;
+  std::vector<double> net_cap;                 ///< F, per net id
+  std::vector<std::vector<double>> pin_delay;  ///< s, [gate][input pin]
+
+  [[nodiscard]] double net_cap_of(int net) const {
+    const auto i = static_cast<std::size_t>(net);
+    return enabled && i < net_cap.size() ? net_cap[i] : 0.0;
+  }
+  [[nodiscard]] double pin_delay_of(int gate, int pin) const {
+    const auto g = static_cast<std::size_t>(gate);
+    const auto p = static_cast<std::size_t>(pin);
+    return enabled && g < pin_delay.size() && p < pin_delay[g].size()
+               ? pin_delay[g][p]
+               : 0.0;
+  }
+  bool operator==(const WireLoads&) const = default;
+};
+
 struct StaResult {
   double worst_arrival = 0.0;  ///< s, over all primary outputs
   int critical_output = -1;    ///< net id of the worst output

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -15,8 +16,12 @@ constexpr double kUnconstrained = std::numeric_limits<double>::infinity();
 }  // namespace
 
 TimingGraph::TimingGraph(const flow::GateNetlist& netlist,
-                         const StaOptions& options, double target_delay)
-    : netlist_(&netlist), options_(options), target_delay_(target_delay) {
+                         const StaOptions& options, double target_delay,
+                         WireLoads wires)
+    : netlist_(&netlist),
+      options_(options),
+      target_delay_(target_delay),
+      wires_(std::move(wires)) {
   full_update();
 }
 
@@ -55,8 +60,7 @@ void TimingGraph::full_update() {
   queued_.assign(gates.size(), 0);
 
   for (int net = 0; net < netlist_->num_nets(); ++net) {
-    load_[static_cast<std::size_t>(net)] = netlist_->net_load(
-        net, options_.wire_cap_per_fanout, options_.output_load);
+    recompute_load(net);
   }
 
   // Levelize, then evaluate every gate once in topological order — each
@@ -104,8 +108,10 @@ void TimingGraph::enqueue_driver(int net) {
 }
 
 void TimingGraph::recompute_load(int net) {
-  load_[static_cast<std::size_t>(net)] = netlist_->net_load(
-      net, options_.wire_cap_per_fanout, options_.output_load);
+  load_[static_cast<std::size_t>(net)] =
+      netlist_->net_load(net, options_.wire_cap_per_fanout,
+                         options_.output_load) +
+      wires_.net_cap_of(net);
 }
 
 void TimingGraph::eval_gate(int gate_index) {
@@ -116,10 +122,14 @@ void TimingGraph::eval_gate(int gate_index) {
   bool crit_rising = false;
   for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
     const auto in = static_cast<std::size_t>(gate.inputs[pin]);
+    // The extracted wire delay into this pin adds to every arc through it
+    // (and to the cached worst-direction arc delay, so the backward
+    // required-time pass sees the same wire-loaded graph).
+    const double w = wires_.pin_delay_of(gate_index, static_cast<int>(pin));
     double pin_delay = 0.0;
     for (const bool rising : {true, false}) {
       const auto& arc = gate.cell->arc(static_cast<int>(pin), rising);
-      const double d = arc.delay.lookup(slew_[in], out_load);
+      const double d = w + arc.delay.lookup(slew_[in], out_load);
       pin_delay = std::max(pin_delay, d);
       if (arrival_[in] + d > worst) {
         worst = arrival_[in] + d;
@@ -437,7 +447,7 @@ StaResult TimingGraph::to_sta_result() {
 
 bool TimingGraph::matches_full_rebuild() {
   ensure_required();
-  TimingGraph fresh(*netlist_, options_, target_delay_);
+  TimingGraph fresh(*netlist_, options_, target_delay_, wires_);
   fresh.ensure_required();
   return arrival_ == fresh.arrival_ && slew_ == fresh.slew_ &&
          load_ == fresh.load_ && required_ == fresh.required_ &&

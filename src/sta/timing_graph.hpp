@@ -37,10 +37,12 @@ class TimingGraph {
  public:
   /// Builds and fully propagates. `target_delay` seeds the required-time
   /// propagation; 0 means "the worst arrival" (zero slack on the critical
-  /// path). The netlist must outlive the graph.
+  /// path). `wires` layers extracted parasitics on top of the ideal model:
+  /// each net's load gains its wire cap, each input pin's arrival gains its
+  /// Elmore wire delay. The netlist must outlive the graph.
   explicit TimingGraph(const flow::GateNetlist& netlist,
                        const StaOptions& options = {},
-                       double target_delay = 0.0);
+                       double target_delay = 0.0, WireLoads wires = {});
 
   /// Rebind clone: copies every cached arrival/slew/load/level/arc table
   /// from `other` but reads gates from `netlist` — which must be currently
@@ -103,6 +105,7 @@ class TimingGraph {
   [[nodiscard]] const TimingStats& stats() const { return stats_; }
   [[nodiscard]] const flow::GateNetlist& netlist() const { return *netlist_; }
   [[nodiscard]] const StaOptions& options() const { return options_; }
+  [[nodiscard]] const WireLoads& wires() const { return wires_; }
 
  private:
   void grow_to_netlist();
@@ -122,6 +125,7 @@ class TimingGraph {
   const flow::GateNetlist* netlist_;
   StaOptions options_;
   double target_delay_;
+  WireLoads wires_;
 
   // Per net id.
   std::vector<double> arrival_;

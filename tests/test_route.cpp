@@ -1,0 +1,402 @@
+// Wire-aware signoff tests: the grid router's determinism and the
+// open/short oracle, Elmore extraction against hand-computed goldens,
+// wire-loaded incremental timing vs full rebuild, and routed-GDS DRC
+// cleanliness per family cell. The Route10k suite is the 10k-gate stress
+// tier, registered as its own ctest entry under the `scale` label so
+// sanitizer runs can exclude it (-LE scale).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/flow.hpp"
+#include "api/serialize.hpp"
+#include "core/design_kit.hpp"
+#include "drc/drc.hpp"
+#include "gds/gds.hpp"
+#include "gen/gen.hpp"
+#include "layout/cells.hpp"
+#include "route/extract.hpp"
+#include "route/router.hpp"
+#include "sta/timing_graph.hpp"
+#include "util/json.hpp"
+
+namespace cnfet {
+namespace {
+
+const liberty::Library& cnfet_library() {
+  static const core::DesignKit kit(layout::Tech::kCnfet65);
+  return kit.library();
+}
+
+const layout::DesignRules& cnfet_rules() {
+  return cnfet_library().cells().front().built.layout.rules();
+}
+
+gen::Generated random_dag(int gates, int num_inputs, std::uint64_t seed) {
+  gen::GenOptions options;
+  options.family = gen::Family::kRandomDag;
+  options.target_gates = gates;
+  options.num_inputs = num_inputs;
+  options.seed = seed;
+  return gen::generate(cnfet_library(), options);
+}
+
+std::string routing_bytes(const route::RoutingResult& routing) {
+  return util::json::dump(api::to_json(routing));
+}
+
+/// Runs a flow with routing enabled up to sign-off and returns it.
+api::Flow routed_flow_from_netlist(flow::GateNetlist netlist,
+                                   layout::CellScheme scheme =
+                                       layout::CellScheme::kScheme1) {
+  api::FlowOptions options;
+  options.route = true;
+  options.place.scheme = scheme;
+  auto made = api::Flow::from_netlist(std::move(netlist), options);
+  EXPECT_TRUE(made.ok()) << made.error().message;
+  auto reached = made.value().run(api::Stage::kSignedOff);
+  EXPECT_TRUE(reached.ok()) << reached.error().message;
+  return std::move(made.value());
+}
+
+// --- RouteTier: fast routing, extraction and DRC cases -------------------
+
+TEST(RouteTier, RoutingIsByteDeterministic) {
+  auto design = random_dag(120, 10, 11);
+  const auto placement = flow::place(design.netlist);
+  const auto& rules = cnfet_rules();
+  const auto first = route::route(design.netlist, placement, rules);
+  const auto second = route::route(design.netlist, placement, rules);
+  EXPECT_TRUE(first == second);
+  EXPECT_EQ(routing_bytes(first), routing_bytes(second));
+  EXPECT_TRUE(first.complete());
+  EXPECT_GT(first.total_wirelength_lambda, 0.0);
+}
+
+TEST(RouteTier, OracleAcceptsFuzzedPlacementsOnBothSchemes) {
+  const auto& rules = cnfet_rules();
+  for (const auto scheme :
+       {layout::CellScheme::kScheme1, layout::CellScheme::kScheme2}) {
+    for (const std::uint64_t seed : {1, 2, 3, 4}) {
+      auto design = random_dag(60 + 30 * static_cast<int>(seed), 8, seed);
+      flow::PlaceOptions popt;
+      popt.scheme = scheme;
+      // Vary the aspect ratio too: tall-and-narrow vs wide-and-flat
+      // placements exercise different congestion patterns.
+      popt.aspect_rows = seed % 2 == 0 ? 0.5 : 2.0;
+      const auto placement = flow::place(design.netlist, popt);
+      const auto routing = route::route(design.netlist, placement, rules);
+      EXPECT_TRUE(routing.complete())
+          << "scheme " << static_cast<int>(scheme) << " seed " << seed
+          << ": " << routing.failed_nets << " failed nets";
+      const auto report =
+          route::verify(design.netlist, placement, routing, rules);
+      EXPECT_TRUE(report.ok())
+          << "scheme " << static_cast<int>(scheme) << " seed " << seed
+          << ": open=" << report.open_nets
+          << " shorts=" << report.shorted_net_pairs
+          << " stray=" << report.stray_terminals;
+      EXPECT_EQ(report.nets_checked,
+                static_cast<int>(routing.nets.size()));
+    }
+  }
+}
+
+// The oracle is only trustworthy if it actually rejects broken routings.
+TEST(RouteTier, OracleFlagsInjectedOpensAndShorts) {
+  auto design = random_dag(80, 8, 7);
+  const auto placement = flow::place(design.netlist);
+  const auto& rules = cnfet_rules();
+  const auto routing = route::route(design.netlist, placement, rules);
+  ASSERT_TRUE(route::verify(design.netlist, placement, routing, rules).ok());
+
+  // Open: delete all metal from the largest multi-terminal net.
+  auto opened = routing;
+  for (auto& rn : opened.nets) {
+    if (!rn.wires.empty()) {
+      rn.wires.clear();
+      rn.vias.clear();
+      break;
+    }
+  }
+  EXPECT_GT(route::verify(design.netlist, placement, opened, rules).open_nets,
+            0);
+
+  // Short: graft one net's first wire onto a different net.
+  auto shorted = routing;
+  const route::Wire* stolen = nullptr;
+  for (const auto& rn : shorted.nets) {
+    if (!rn.wires.empty()) {
+      stolen = &rn.wires.front();
+      break;
+    }
+  }
+  ASSERT_NE(stolen, nullptr);
+  for (auto& rn : shorted.nets) {
+    if (rn.wires.empty() || &rn.wires.front() == stolen) continue;
+    rn.wires.push_back(*stolen);
+    break;
+  }
+  EXPECT_GT(route::verify(design.netlist, placement, shorted, rules)
+                .shorted_net_pairs,
+            0);
+}
+
+TEST(RouteTier, ElmoreMatchesHandComputedStraightWire) {
+  const auto& lib = cnfet_library();
+  const auto* inv = &lib.find("INV_1X");
+  flow::GateNetlist netlist;
+  const int a = netlist.add_net("A");
+  netlist.mark_input(a);
+  const int n1 = netlist.add_net("n1");
+  const int n2 = netlist.add_net("n2");
+  netlist.add_gate(flow::Gate{inv, {a}, n1, "u1"});
+  netlist.add_gate(flow::Gate{inv, {n1}, n2, "u2"});
+  netlist.mark_output(n2);
+
+  const layout::DesignRules rules;
+  const geom::Coord p = rules.db(rules.route_pitch);
+  const geom::Coord w = rules.db(rules.wire_width);
+
+  // One horizontal wire of two pitch steps; root at one end, sink at the
+  // other. The RC ladder is root --R-- mid --R-- sink with step cap split
+  // half per endpoint: C(root) = c/2, C(mid) = c, C(sink) = c/2.
+  // Elmore(sink) = R*(3c/2) + R*(c/2) = 2*R*c.
+  route::RoutingResult routing;
+  routing.pitch = p;
+  route::RoutedNet rn;
+  rn.net = n1;
+  rn.terminals = {{0, 0}, {2 * p, 0}};
+  rn.wires = {route::Wire{0, {0, 0}, {2 * p, 0}, w}};
+  rn.length_lambda = 2 * rules.route_pitch;
+  routing.nets.push_back(rn);
+  routing.total_wirelength_lambda = rn.length_lambda;
+
+  const auto extraction = route::extract(netlist, routing, rules);
+  ASSERT_EQ(extraction.nets.size(), 1U);
+  const auto& ext = extraction.nets.front();
+  const double step_res = rules.wire_sheet_res * rules.route_pitch /
+                          rules.wire_width;
+  const double step_cap = rules.wire_cap_per_lambda * rules.route_pitch;
+  EXPECT_DOUBLE_EQ(ext.wire_cap_f,
+                   2 * rules.route_pitch * rules.wire_cap_per_lambda);
+  ASSERT_EQ(ext.sink_elmore_s.size(), 1U);
+  EXPECT_DOUBLE_EQ(ext.sink_elmore_s.front(), 2.0 * step_res * step_cap);
+
+  // And the WireLoads repackaging lands on (gate 1, pin 0) and net n1.
+  const auto loads = extraction.to_wire_loads(netlist);
+  EXPECT_TRUE(loads.enabled);
+  EXPECT_DOUBLE_EQ(loads.net_cap_of(n1), ext.wire_cap_f);
+  EXPECT_DOUBLE_EQ(loads.pin_delay_of(1, 0), ext.sink_elmore_s.front());
+  EXPECT_DOUBLE_EQ(loads.net_cap_of(a), 0.0);
+  EXPECT_DOUBLE_EQ(loads.pin_delay_of(99, 0), 0.0);  // out of range: zero
+}
+
+TEST(RouteTier, ElmoreMatchesHandComputedViaCorner) {
+  const auto& lib = cnfet_library();
+  const auto* inv = &lib.find("INV_1X");
+  flow::GateNetlist netlist;
+  const int a = netlist.add_net("A");
+  netlist.mark_input(a);
+  const int n1 = netlist.add_net("n1");
+  const int n2 = netlist.add_net("n2");
+  netlist.add_gate(flow::Gate{inv, {a}, n1, "u1"});
+  netlist.add_gate(flow::Gate{inv, {n1}, n2, "u2"});
+  netlist.mark_output(n2);
+
+  const layout::DesignRules rules;
+  const geom::Coord p = rules.db(rules.route_pitch);
+  const geom::Coord w = rules.db(rules.wire_width);
+  const geom::Coord vs = rules.db(rules.via_size);
+
+  // An L: one metal2 step east, via up, one metal3 step north, via back
+  // down to the layer-0 sink node — exactly the shape the router emits for
+  // a diagonal two-terminal net. Caps: root c/2, corner c/2 (layer 0) and
+  // c/2 (layer 1), sink c/2 on layer 1, 0 on layer 0.
+  // Elmore(sink) = R*(3c/2) + Rvia*c + R*(c/2) + Rvia*0 = 2*R*c + Rvia*c.
+  route::RoutingResult routing;
+  routing.pitch = p;
+  route::RoutedNet rn;
+  rn.net = n1;
+  rn.terminals = {{0, 0}, {p, p}};
+  rn.wires = {route::Wire{0, {0, 0}, {p, 0}, w},
+              route::Wire{1, {p, 0}, {p, p}, w}};
+  rn.vias = {route::Via{{p, 0}, vs}, route::Via{{p, p}, vs}};
+  rn.length_lambda = 2 * rules.route_pitch;
+  routing.nets.push_back(rn);
+
+  const auto extraction = route::extract(netlist, routing, rules);
+  ASSERT_EQ(extraction.nets.size(), 1U);
+  const double step_res = rules.wire_sheet_res * rules.route_pitch /
+                          rules.wire_width;
+  const double step_cap = rules.wire_cap_per_lambda * rules.route_pitch;
+  ASSERT_EQ(extraction.nets.front().sink_elmore_s.size(), 1U);
+  EXPECT_DOUBLE_EQ(extraction.nets.front().sink_elmore_s.front(),
+                   2.0 * step_res * step_cap + rules.via_res * step_cap);
+}
+
+TEST(RouteTier, FamilyCellsRouteDrcCleanAndNeverBeatIdeal) {
+  for (const auto& spec : layout::standard_cell_family()) {
+    api::FlowOptions options;
+    options.route = true;
+    auto made = api::Flow::from_cell(spec.name, options);
+    ASSERT_TRUE(made.ok()) << spec.name << ": " << made.error().message;
+    auto& flow = made.value();
+    const auto reached = flow.run();
+    ASSERT_TRUE(reached.ok()) << spec.name << ": " << reached.error().message;
+
+    ASSERT_NE(flow.routed(), nullptr) << spec.name;
+    const auto& routed = *flow.routed();
+    EXPECT_TRUE(routed.routing.complete()) << spec.name;
+    EXPECT_EQ(routed.wire_drc_violations, 0) << spec.name;
+
+    // Re-run the wire DRC deck directly: the routed metal is clean.
+    const auto report = drc::check_routes(routed.routing, cnfet_rules());
+    EXPECT_TRUE(report.clean()) << spec.name;
+
+    // The wire model only adds: routed timing never beats the ideal-net
+    // reference.
+    EXPECT_GE(routed.routed_timing.worst_arrival,
+              routed.ideal_worst_arrival_s)
+        << spec.name;
+    const auto metrics = flow.metrics();
+    EXPECT_TRUE(metrics.routed) << spec.name;
+    EXPECT_GE(metrics.routed_worst_arrival_s, metrics.worst_arrival_s)
+        << spec.name;
+    EXPECT_GE(metrics.wire_delay_ps, 0.0) << spec.name;
+
+    // The routed GDS carries the new layers. One-gate designs (INV and the
+    // cells that map to a single gate) own every net at a single placed
+    // terminal — primary I/O has no placed sink — so they legitimately
+    // route zero wire; every multi-gate design must draw metal.
+    ASSERT_NE(flow.exported(), nullptr) << spec.name;
+    const layout::LayerMap layers;
+    int metal2 = 0, metal3 = 0, via23 = 0;
+    for (const auto& s : flow.exported()->gds.structures) {
+      for (const auto& b : s.boundaries) {
+        metal2 += b.layer == layers.metal2;
+        metal3 += b.layer == layers.metal3;
+        via23 += b.layer == layers.via23;
+      }
+    }
+    if (metrics.gates > 1) {
+      EXPECT_GT(metrics.total_wirelength, 0.0) << spec.name;
+      EXPECT_GT(metal2, 0) << spec.name;
+    } else {
+      EXPECT_EQ(metal2 + metal3 + via23, 0) << spec.name;
+    }
+    // A design can route on metal2 alone; metal3 and vias appear together
+    // when they appear at all.
+    EXPECT_EQ(metal3 > 0, via23 > 0) << spec.name;
+  }
+}
+
+TEST(RouteTier, WireLoadedIncrementalRetimeMatchesFullRebuild) {
+  const auto& lib = cnfet_library();
+  auto design = random_dag(300, 12, 9);
+  const auto placement = flow::place(design.netlist);
+  const auto& rules = cnfet_rules();
+  const auto routing = route::route(design.netlist, placement, rules);
+  ASSERT_TRUE(routing.complete());
+  const auto extraction = route::extract(design.netlist, routing, rules);
+
+  sta::TimingGraph ideal(design.netlist);
+  sta::TimingGraph wired(design.netlist, {}, 0.0,
+                         extraction.to_wire_loads(design.netlist));
+  EXPECT_GE(wired.worst_arrival(), ideal.worst_arrival());
+
+  int edits = 0;
+  for (int gate = 10; gate < 300 && edits < 16; gate += 17) {
+    const auto& current = *design.netlist.gates()[gate].cell;
+    for (const auto& option :
+         lib.drives_of(liberty::Library::base_name(current.name))) {
+      if (option.cell == &current) continue;
+      design.netlist.resize_gate(gate, option.cell);
+      wired.on_gate_replaced(gate);
+      ++edits;
+      break;
+    }
+    (void)wired.worst_arrival();
+  }
+  ASSERT_GT(edits, 0);
+  EXPECT_TRUE(wired.matches_full_rebuild());
+  EXPECT_GT(wired.stats().incremental_retimes, 0U);
+}
+
+TEST(RouteTier, RoutingResultSerializesRoundTrip) {
+  auto design = random_dag(90, 8, 13);
+  const auto placement = flow::place(design.netlist);
+  const auto routing = route::route(design.netlist, placement, cnfet_rules());
+  const auto round =
+      api::routing_result_from_json(api::to_json(routing));
+  EXPECT_TRUE(round == routing);
+  EXPECT_EQ(routing_bytes(round), routing_bytes(routing));
+}
+
+TEST(RouteTier, RoutedSessionResumesByteIdentically) {
+  auto design = random_dag(70, 8, 17);
+  auto flow = routed_flow_from_netlist(std::move(design.netlist));
+  ASSERT_TRUE(flow.export_design().ok());
+
+  const auto saved = flow.session_json();
+  ASSERT_TRUE(saved.ok()) << saved.error().message;
+  const auto first = util::json::dump(saved.value());
+
+  auto resumed = api::Flow::resume_json(saved.value(), "<test>");
+  ASSERT_TRUE(resumed.ok()) << resumed.error().message;
+  const auto again = resumed.value().session_json();
+  ASSERT_TRUE(again.ok()) << again.error().message;
+  EXPECT_EQ(first, util::json::dump(again.value()));
+
+  // The regenerated export carries the identical routed GDS.
+  ASSERT_NE(resumed.value().exported(), nullptr);
+  std::ostringstream local, back;
+  gds::write(flow.exported()->gds, local);
+  gds::write(resumed.value().exported()->gds, back);
+  EXPECT_EQ(local.str(), back.str());
+
+  const auto m1 = flow.metrics(), m2 = resumed.value().metrics();
+  EXPECT_TRUE(m2.routed);
+  EXPECT_EQ(m1.total_wirelength, m2.total_wirelength);
+  EXPECT_EQ(m1.wire_cap_ff, m2.wire_cap_ff);
+  EXPECT_EQ(m1.wire_delay_ps, m2.wire_delay_ps);
+  EXPECT_EQ(m1.routed_worst_arrival_s, m2.routed_worst_arrival_s);
+}
+
+// --- Route10k: the 10k-gate stress tier (ctest label `scale`) ------------
+
+// Uniform-random DAGs have no locality: their bisection width grows with
+// the gate count, so no fixed-layer fabric routes them at scale (the fuzz
+// tier above covers them at the sizes where they are routable). The 10k
+// tier therefore routes a structured netlist, like real designs are.
+TEST(Route10k, TenThousandGatesRouteCompleteCleanAndDeterministic) {
+  gen::GenOptions gopt;
+  gopt.family = gen::Family::kRippleCarryAdder;
+  gopt.width = 1112;  // 9 gates per full-adder bit: just over 10k gates
+  auto design = gen::generate(cnfet_library(), gopt);
+  ASSERT_GE(design.netlist.gates().size(), 10000U);
+  const auto placement = flow::place(design.netlist);
+  const auto& rules = cnfet_rules();
+
+  const auto routing = route::route(design.netlist, placement, rules);
+  EXPECT_TRUE(routing.complete())
+      << routing.failed_nets << " of " << routing.nets.size()
+      << " nets failed";
+  EXPECT_GT(routing.total_wirelength_lambda, 0.0);
+
+  const auto report = route::verify(design.netlist, placement, routing, rules);
+  EXPECT_TRUE(report.ok())
+      << "open=" << report.open_nets
+      << " shorts=" << report.shorted_net_pairs
+      << " stray=" << report.stray_terminals;
+
+  EXPECT_TRUE(drc::check_routes(routing, rules).clean());
+
+  const auto second = route::route(design.netlist, placement, rules);
+  EXPECT_TRUE(second == routing);
+}
+
+}  // namespace
+}  // namespace cnfet

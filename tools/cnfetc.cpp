@@ -43,15 +43,16 @@ void print_usage(std::FILE* out) {
       "usage:\n"
       "  cnfetc compile --cell NAME --out DIR [--tech cnfet65|cmos65]\n"
       "                 [--to STAGE] [--drive D] [--output-drive D]\n"
-      "                 [--optimize] [--top NAME] [--cache-dir DIR]\n"
-      "                 [--server HOST:PORT]\n"
+      "                 [--optimize] [--route] [--top NAME]\n"
+      "                 [--cache-dir DIR] [--server HOST:PORT]\n"
       "  cnfetc gen --family rca|cla|mul|rand --out DIR [--width N]\n"
       "                 [--gates N] [--inputs N] [--seed S] [--drive D]\n"
       "                 [--tech cnfet65|cmos65] [--to STAGE] [--optimize]\n"
-      "                 [--top NAME] [--cache-dir DIR] [--server HOST:PORT]\n"
+      "                 [--route] [--top NAME] [--cache-dir DIR]\n"
+      "                 [--server HOST:PORT]\n"
       "  cnfetc batch JOBS.json [--threads N] [--report REPORT.json]\n"
       "                 [--fail-fast] [--cache-dir DIR]\n"
-      "  cnfetc resume DIR [--to STAGE] [--cache-dir DIR]\n"
+      "  cnfetc resume DIR [--to STAGE] [--route] [--cache-dir DIR]\n"
       "                 [--server HOST:PORT]\n"
       "  cnfetc jobs --out JOBS.json [--tech T]... [--to STAGE]\n"
       "  cnfetc monte-carlo --cell NAME [--trials N] [--seed S]\n"
@@ -67,6 +68,10 @@ void print_usage(std::FILE* out) {
       "job per cell per --tech; default cnfet65) for `cnfetc batch`.\n"
       "STAGE is one of: created mapped timed optimized placed signed-off\n"
       "exported (default: exported).\n"
+      "--route adds wire-aware signoff: the placed design is routed on the\n"
+      "metal2/metal3 grid, Elmore RC is extracted and timed on top of the\n"
+      "ideal model, the wire DRC deck runs, and the routed metal lands in\n"
+      "design.gds (resume --route enables it on a session saved without).\n"
       "--cache-dir (or CNFET_LIBRARY_CACHE_DIR) keeps characterized\n"
       "libraries on disk as versioned JSON, so only the first run pays the\n"
       "characterization transients.\n"
@@ -234,6 +239,12 @@ int finish_flow(api::Flow& flow, api::Stage target, const std::string& dir) {
               m.name.c_str(), layout::to_string(m.tech),
               api::to_string(m.stage), m.gates, m.worst_arrival_s * 1e12,
               m.placed_area_lambda2, m.drc_violations);
+  if (m.routed) {
+    std::printf("routed: %.0f lambda wire, %.3f fF wire cap, "
+                "wire delay +%.3gps, %d wire DRC violations\n",
+                m.total_wirelength, m.wire_cap_ff, m.wire_delay_ps,
+                m.wire_drc_violations);
+  }
   print_cache_notes();
   return reached.ok() ? 0 : 1;
 }
@@ -286,6 +297,12 @@ int finish_served_flow(const util::json::Value& response,
                 m.name.c_str(), layout::to_string(m.tech),
                 api::to_string(m.stage), m.gates, m.worst_arrival_s * 1e12,
                 m.placed_area_lambda2, m.drc_violations);
+    if (m.routed) {
+      std::printf("routed: %.0f lambda wire, %.3f fF wire cap, "
+                  "wire delay +%.3gps, %d wire DRC violations\n",
+                  m.total_wirelength, m.wire_cap_ff, m.wire_delay_ps,
+                  m.wire_drc_violations);
+    }
   }
   return response.get_bool("ok") ? 0 : 1;
 }
@@ -329,6 +346,7 @@ int cmd_compile(Args& args) {
     }
   }
   if (args.has_switch("--optimize")) options.optimize = true;
+  if (args.has_switch("--route")) options.route = true;
   if (const auto* top = args.value_of("--top")) options.top_name = *top;
   const auto target = target_stage(args);
   if (!target.ok()) return usage(target.error().message.c_str());
@@ -400,6 +418,7 @@ int cmd_gen(Args& args) {
     gopt.drive = options.drive;
   }
   if (args.has_switch("--optimize")) options.optimize = true;
+  if (args.has_switch("--route")) options.route = true;
   const auto* top = args.value_of("--top");
   if (top != nullptr) options.top_name = *top;
   const auto target = target_stage(args);
@@ -447,6 +466,7 @@ int cmd_resume(Args& args) {
   // the positional) once the flag lookups have consumed it.
   const auto target = target_stage(args);
   if (!target.ok()) return usage(target.error().message.c_str());
+  const bool route = args.has_switch("--route");
   const auto* server = args.value_of("--server");
   if (const auto flag = args.unknown_flag(); !flag.empty()) {
     return usage(("unknown flag " + flag).c_str());
@@ -464,6 +484,7 @@ int cmd_resume(Args& args) {
     auto request = serve::make_request(serve::RequestKind::kResume);
     request.set("session", std::move(session).value());
     request.set("target", api::to_string(target.value()));
+    if (route) request.set("route", true);
     return call_server(*server, std::move(request), dir);
   }
   auto flow = api::Flow::resume(dir);
@@ -471,6 +492,7 @@ int cmd_resume(Args& args) {
     std::fprintf(stderr, "cnfetc: %s\n", flow.error().to_string().c_str());
     return 1;
   }
+  if (route) flow.value().set_route(true);
   std::printf("resumed %s at stage %s\n", flow.value().name().c_str(),
               api::to_string(flow.value().stage()));
   return finish_flow(flow.value(), target.value(), dir);
